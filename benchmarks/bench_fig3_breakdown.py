@@ -1,0 +1,58 @@
+"""Figures 3c-3f — per-sweep time breakdown (TTM / mTTV / hadamard / solve / others).
+
+The paper shows the breakdown for the order-3 runs at grids 2x4x4 and 8x8x8
+(Figs. 3c, 3d) and the order-4 runs at grids 2x2x2x2 and 4x4x4x4 (Figs. 3e,
+3f).  The modeled breakdowns are produced at the paper's scale; an executed
+breakdown at container scale is reported for the smallest grid of each order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.breakdown import executed_breakdown, modeled_breakdown
+from repro.experiments.reporting import format_breakdown
+from repro.machine.params import MachineParams
+
+_PANELS = {
+    "fig3c": dict(order=3, s_local=400, rank=400, grid=(2, 4, 4)),
+    "fig3d": dict(order=3, s_local=400, rank=400, grid=(8, 8, 8)),
+    "fig3e": dict(order=4, s_local=75, rank=200, grid=(2, 2, 2, 2)),
+    "fig3f": dict(order=4, s_local=75, rank=200, grid=(4, 4, 4, 4)),
+}
+
+
+@pytest.mark.parametrize("panel", list(_PANELS))
+def test_fig3_breakdown_modeled(benchmark, report, panel):
+    config = _PANELS[panel]
+    out = benchmark(
+        modeled_breakdown, config["order"], config["s_local"], config["rank"], config["grid"]
+    )
+    text = format_breakdown(
+        out, title=f"Figure {panel[-2:]} (modeled) grid={'x'.join(map(str, config['grid']))} "
+                   f"— per-sweep seconds by kernel"
+    )
+    report(f"{panel}_breakdown_modeled", text)
+    # the paper's headline observation: TTM dominates every kernel except the
+    # PP approximated step, which is mTTV bound
+    assert out["dt"]["ttm"] > out["dt"]["mttv"]
+    assert out["pp-approx"]["ttm"] == 0.0
+    assert out["pp-approx"]["mttv"] > 0.0
+
+
+@pytest.mark.parametrize("order,grid,s_local,rank", [
+    (3, (2, 2, 1), 12, 12),
+    (4, (2, 2, 1, 1), 6, 8),
+])
+def test_fig3_breakdown_executed(benchmark, report, order, grid, s_local, rank):
+    out = benchmark.pedantic(
+        executed_breakdown,
+        args=(order, s_local, rank, grid),
+        kwargs={"n_sweeps": 2, "seed": 0, "params": MachineParams.container_like()},
+        rounds=1, iterations=1,
+    )
+    label = "x".join(map(str, grid))
+    text = format_breakdown(out, title=f"Executed breakdown (order {order}, grid {label}) "
+                                       f"— measured kernel seconds of the slowest rank")
+    report(f"fig3_breakdown_executed_order{order}", text)
+    assert out["dt"]["ttm"] >= 0.0

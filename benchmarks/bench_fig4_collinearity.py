@@ -1,0 +1,50 @@
+"""Figure 4 — PP speed-up over DT versus factor collinearity.
+
+Paper setting: 1600^3 tensors, R = 400, PP tolerance 0.2, five collinearity
+bins, five seeds per bin, run on a 4x4x4 grid.  The container-scale run keeps
+the collinearity bins, the PP tolerance and the multiple seeds, with smaller
+tensors and serial execution (the speed-up being measured is algorithmic:
+exact DT sweeps vs mostly PP-approximated sweeps).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.collinearity_speedup import (
+    PAPER_COLLINEARITY_BINS,
+    collinearity_speedup_study,
+)
+from repro.experiments.reporting import format_table
+
+
+def test_fig4_pp_speedup_vs_collinearity(benchmark, report):
+    results = benchmark.pedantic(
+        collinearity_speedup_study,
+        kwargs=dict(mode_size=40, rank=12, bins=PAPER_COLLINEARITY_BINS,
+                    n_seeds=2, n_sweeps=100, tol=1e-5, pp_tol=0.2, seed0=0),
+        rounds=1, iterations=1,
+    )
+    body = []
+    for result in results:
+        q25, q50, q75 = result.quartiles
+        body.append([
+            f"[{result.collinearity_range[0]:.1f}, {result.collinearity_range[1]:.1f})",
+            q25, q50, q75, min(result.speedups), max(result.speedups),
+        ])
+    text = format_table(
+        ["collinearity", "q25 speedup", "median speedup", "q75 speedup", "min", "max"],
+        body,
+        title="Figure 4 (executed, 40^3, R=12, PP tol 0.2) — PP speed-up over DT",
+    )
+    report("fig4_collinearity_speedup", text)
+
+    # shape checks: PP never slows things down catastrophically in any bin and
+    # delivers a clear speed-up in at least one bin (the paper reports up to
+    # 1.8x; at container scale the per-sweep python overhead damps the gain
+    # for the bins that converge in very few sweeps — see EXPERIMENTS.md)
+    medians = [r.median_speedup for r in results]
+    assert all(m > 0.4 for m in medians)
+    assert max(medians) > 1.2
+    # and PP must reach essentially the same fitness as the DT baseline
+    for result in results:
+        for fit_dt, fit_pp in zip(result.final_fitness_baseline, result.final_fitness_pp):
+            assert fit_pp >= fit_dt - 0.05

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the MTTKRP engines (supplementary, not a paper artifact).
+
+These time one full sweep of MTTKRPs for each engine on a single process so
+the relative kernel costs (naive vs DT vs MSDT, and the PP approximated
+update) can be inspected directly with pytest-benchmark's own statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pp_corrections import first_order_correction
+from repro.trees.pp_operators import PairwiseOperators
+from repro.trees.registry import make_provider
+
+_SHAPE = (40, 40, 40)
+_RANK = 16
+
+
+def _sweep(provider):
+    for mode in range(provider.order):
+        result = provider.mttkrp(mode)
+        provider.set_factor(mode, result / (np.linalg.norm(result) + 1.0))
+    return result
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    tensor = rng.random(_SHAPE)
+    factors = [rng.random((s, _RANK)) for s in _SHAPE]
+    return tensor, factors
+
+
+@pytest.mark.parametrize("engine", ["naive", "dt", "msdt"])
+def test_engine_sweep_time(benchmark, workload, engine):
+    tensor, factors = workload
+    provider = make_provider(engine, tensor, [f.copy() for f in factors])
+    _sweep(provider)  # warm up the cache / steady state
+    benchmark(_sweep, provider)
+
+
+def test_pp_approximated_sweep_time(benchmark, workload):
+    tensor, factors = workload
+    operators = PairwiseOperators.build(tensor, factors)
+    deltas = [1e-3 * f for f in factors]
+
+    def _approx_sweep():
+        out = None
+        for mode in range(3):
+            out = operators.single(mode).copy()
+            for other in range(3):
+                if other != mode:
+                    out += first_order_correction(
+                        operators.pair_operator(mode, other), deltas[other]
+                    )
+        return out
+
+    benchmark(_approx_sweep)

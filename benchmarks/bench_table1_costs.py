@@ -1,0 +1,55 @@
+"""Table I — cost comparison of the MTTKRP kernels.
+
+Regenerates the analytic Table I at the paper's synthetic-benchmark scale
+(s = 1600, N = 3, R = 400, P = 64 — the Fig. 4 configuration) and additionally
+validates the leading-order sequential flop counts against the *measured*
+per-sweep flops of the actual engines on a small tensor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.mttkrp_costs import dt_costs, msdt_costs
+from repro.experiments.reporting import format_table
+from repro.experiments.table1 import measured_mttkrp_flops_per_sweep, table1_rows
+
+
+def _build_table() -> str:
+    rows = table1_rows(s=1600, order=3, rank=400, n_procs=64)
+    headers = ["method", "seq flops", "local flops", "aux memory (words)",
+               "messages", "horiz words", "vert words", "modeled s/sweep"]
+    body = [
+        [r["method"], r["sequential_flops"], r["local_flops"],
+         r["auxiliary_memory_words"], r["horizontal_messages"],
+         r["horizontal_words"], r["vertical_words"], r["modeled_seconds"]]
+        for r in rows
+    ]
+    return format_table(headers, body,
+                        title="Table I (evaluated at s=1600, N=3, R=400, P=64)")
+
+
+def test_table1_analytic(benchmark, report):
+    text = benchmark(_build_table)
+    report("table1_costs", text)
+
+
+def test_table1_measured_flop_validation(benchmark, report):
+    shape, rank = (16, 16, 16), 8
+    measured = benchmark.pedantic(
+        measured_mttkrp_flops_per_sweep, args=(shape, rank), rounds=1, iterations=1
+    )
+    dt_expected = dt_costs(16, 3, rank).sequential_flops
+    msdt_expected = msdt_costs(16, 3, rank).sequential_flops
+    body = [
+        ["naive (measured)", measured["naive"], 2 * 3 * 16**3 * rank],
+        ["dt (measured vs 4 s^N R)", measured["dt"], dt_expected],
+        ["msdt (measured vs 2N/(N-1) s^N R)", measured["msdt"], msdt_expected],
+        ["pp-init (measured)", measured["pp-init"], dt_expected],
+        ["pp-approx (measured)", measured["pp-approx"], 2 * 9 * (16**2 * rank)],
+    ]
+    text = format_table(["kernel", "measured flops/sweep", "Table I leading term"], body,
+                        title="Table I consistency check (s=16, N=3, R=8)")
+    report("table1_measured_validation", text)
+    assert measured["dt"] >= dt_expected
+    assert measured["msdt"] <= 1.3 * msdt_expected

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at container
+scale (executed) and/or paper scale (modeled), prints the rows, and also
+writes them to ``benchmarks/results/<name>.txt`` so the artifacts survive
+pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> Path:
+    """Write a plain-text report for one benchmark artifact and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+@pytest.fixture
+def report():
+    """Fixture returning :func:`save_report`."""
+    return save_report
+
+
+def pytest_configure(config):
+    # allow `pytest benchmarks/` to run from any working directory
+    os.environ.setdefault("REPRO_BENCH", "1")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on minimal/offline environments where the
+``wheel`` package is unavailable and pip must fall back to the legacy
+``setup.py develop`` editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

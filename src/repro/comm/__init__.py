@@ -1,0 +1,29 @@
+"""Communication substrate.
+
+The parallel algorithms in :mod:`repro.core` are written against the
+*group-collective* interface of :class:`repro.comm.base.GroupCollectives`:
+every collective takes the per-rank contributions of one BSP superstep and
+returns the per-rank results, charging the alpha-beta cost of the collective
+to each participating rank's :class:`repro.machine.cost_tracker.CostTracker`.
+
+Two implementations are provided:
+
+* :class:`repro.comm.simulated.SimulatedMachine` — ``P`` logical ranks inside
+  one process.  Data movement is performed exactly (results are bit-identical
+  to a real distributed run) and costs are charged according to the formulas
+  of Section II-E of the paper.  This is the substitution for the paper's
+  MPI/Cyclops runs (see DESIGN.md).
+* :class:`repro.comm.self_comm.SelfMachine` — the degenerate single-rank
+  machine used by the sequential algorithms.
+
+:class:`repro.comm.mpi_adapter.MPICollectives` additionally adapts any
+mpi4py-compatible communicator to the small set of array collectives the
+algorithms need, so the same local kernels can be deployed under real MPI.
+"""
+
+from repro.comm.base import GroupCollectives
+from repro.comm.self_comm import SelfMachine
+from repro.comm.simulated import SimulatedMachine
+from repro.comm.mpi_adapter import MPICollectives
+
+__all__ = ["GroupCollectives", "SelfMachine", "SimulatedMachine", "MPICollectives"]

@@ -1,0 +1,74 @@
+"""Adapter exposing the collectives the algorithms need over an MPI communicator.
+
+The simulated machine is the default substrate (mpi4py is an optional
+dependency), but the local kernels of Algorithms 3 and 4 are exactly the
+per-rank computations a real SPMD deployment would run.  This adapter maps the
+three collectives used by the parallel drivers onto any object that implements
+the small mpi4py-style surface (``Get_rank``, ``Get_size``, ``allreduce``,
+``allgather``, ``bcast``) — in particular ``mpi4py.MPI.Comm`` — so a
+distributed deployment only has to swap the communicator object.
+
+The adapter is communicator-duck-typed on purpose: the unit tests exercise it
+against an in-memory fake, and real MPI use only requires ``pip install
+repro[mpi]`` and ``mpiexec``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MPICollectives"]
+
+
+class MPICollectives:
+    """Per-rank (SPMD-style) array collectives over an mpi4py-like communicator."""
+
+    def __init__(self, comm) -> None:
+        required = ("Get_rank", "Get_size", "allreduce", "allgather", "bcast")
+        missing = [name for name in required if not hasattr(comm, name)]
+        if missing:
+            raise TypeError(
+                f"communicator object lacks required methods: {missing}"
+            )
+        self._comm = comm
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return int(self._comm.Get_rank())
+
+    @property
+    def size(self) -> int:
+        return int(self._comm.Get_size())
+
+    # -- collectives ------------------------------------------------------------
+    def all_reduce(self, local: np.ndarray) -> np.ndarray:
+        """Element-wise sum of ``local`` over all ranks, returned everywhere."""
+        local = np.asarray(local, dtype=np.float64)
+        return np.asarray(self._comm.allreduce(local))
+
+    def all_gather_rows(self, local: np.ndarray) -> np.ndarray:
+        """Concatenate the row blocks of all ranks (rank order) on every rank."""
+        local = np.atleast_2d(np.asarray(local, dtype=np.float64))
+        gathered: Sequence[np.ndarray] = self._comm.allgather(local)
+        return np.concatenate([np.atleast_2d(np.asarray(g)) for g in gathered], axis=0)
+
+    def reduce_scatter_rows(self, local: np.ndarray, row_ranges: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Sum over ranks, then return this rank's ``row_ranges[rank]`` slice.
+
+        Implemented as allreduce + local slice; a production deployment can
+        substitute ``MPI.Reduce_scatter`` without changing callers.
+        """
+        if len(row_ranges) != self.size:
+            raise ValueError("row_ranges must provide one range per rank")
+        total = self.all_reduce(np.atleast_2d(np.asarray(local, dtype=np.float64)))
+        start, stop = row_ranges[self.rank]
+        if not 0 <= start <= stop <= total.shape[0]:
+            raise ValueError(f"row range {(start, stop)} invalid for {total.shape[0]} rows")
+        return total[start:stop].copy()
+
+    def broadcast(self, value: np.ndarray | None, root: int = 0) -> np.ndarray:
+        """Broadcast ``value`` from ``root`` to every rank."""
+        return np.asarray(self._comm.bcast(value, root=root))

@@ -1,0 +1,22 @@
+"""The trivial single-rank machine.
+
+:class:`SelfMachine` implements the group-collective interface for a single
+rank: every collective is the identity and costs nothing (the delta(P) factor
+of the cost formulas is zero for P = 1).  Sequential algorithms and the serial
+baselines run on this machine so that the same driver code handles both the
+serial and the parallel paths.
+"""
+
+from __future__ import annotations
+
+from repro.comm.simulated import SimulatedMachine
+from repro.machine.params import MachineParams
+
+__all__ = ["SelfMachine"]
+
+
+class SelfMachine(SimulatedMachine):
+    """A one-rank :class:`~repro.comm.simulated.SimulatedMachine`."""
+
+    def __init__(self, params: MachineParams | None = None):
+        super().__init__(1, params=params)

@@ -1,0 +1,48 @@
+"""CP-ALS drivers: sequential, pairwise-perturbation, and parallel variants.
+
+* :func:`repro.core.cp_als.cp_als` — Algorithm 1 with a pluggable MTTKRP
+  engine (naive / unfolding / dimension tree / MSDT).
+* :func:`repro.core.pp_cp_als.pp_cp_als` — Algorithm 2 (pairwise
+  perturbation), using MSDT for the exact sweeps as the paper's
+  implementation does.
+* :func:`repro.core.parallel_cp_als.parallel_cp_als` — Algorithm 3 on a
+  simulated processor grid with local-MTTKRP dimension trees.
+* :func:`repro.core.parallel_pp_cp_als.parallel_pp_cp_als` — Algorithm 4, the
+  communication-efficient parallel PP algorithm contributed by the paper.
+"""
+
+from repro.core.options import ALSOptions, PPOptions, ParallelOptions
+from repro.core.results import ALSResult, ParallelALSResult, SweepRecord
+from repro.core.initialization import init_factors
+from repro.core.normal_equations import gram_matrix, gamma_chain, solve_normal_equations
+from repro.core.pp_corrections import (
+    first_order_correction,
+    second_order_correction,
+    delta_gram,
+    pp_step_within_tolerance,
+)
+from repro.core.cp_als import cp_als
+from repro.core.pp_cp_als import pp_cp_als
+from repro.core.parallel_cp_als import parallel_cp_als
+from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
+
+__all__ = [
+    "ALSOptions",
+    "PPOptions",
+    "ParallelOptions",
+    "ALSResult",
+    "ParallelALSResult",
+    "SweepRecord",
+    "init_factors",
+    "gram_matrix",
+    "gamma_chain",
+    "solve_normal_equations",
+    "first_order_correction",
+    "second_order_correction",
+    "delta_gram",
+    "pp_step_within_tolerance",
+    "cp_als",
+    "pp_cp_als",
+    "parallel_cp_als",
+    "parallel_pp_cp_als",
+]

@@ -1,0 +1,167 @@
+"""Sequential CP-ALS (Algorithm 1 of the paper) with pluggable MTTKRP engines."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.initialization import init_factors
+from repro.core.normal_equations import gamma_chain, gram_matrix, solve_normal_equations
+from repro.core.results import ALSResult, SweepRecord
+from repro.machine.cost_tracker import CostTracker
+from repro.tensor.norms import residual_from_mttkrp, tensor_norm
+from repro.trees.base import MTTKRPProvider
+from repro.trees.registry import make_provider
+from repro.utils.validation import check_dense_tensor, check_factor_matrices, check_positive_int, check_rank
+
+__all__ = ["cp_als", "run_regular_sweep"]
+
+
+def run_regular_sweep(
+    provider: MTTKRPProvider,
+    grams: list[np.ndarray],
+    tracker: CostTracker | None,
+) -> np.ndarray:
+    """Run one exact ALS sweep in place and return the last mode's MTTKRP.
+
+    Updates ``provider.factors`` (via :meth:`MTTKRPProvider.set_factor`) and
+    ``grams``; the returned ``M^(N-1)`` together with the refreshed Gram
+    matrices is everything Eq. (3) needs to evaluate the residual without
+    touching the tensor again.
+    """
+    order = provider.order
+    last_mttkrp: np.ndarray | None = None
+    for mode in range(order):
+        gamma = gamma_chain(grams, mode, tracker=tracker)
+        mttkrp_result = provider.mttkrp(mode)
+        updated = solve_normal_equations(gamma, mttkrp_result, tracker=tracker)
+        provider.set_factor(mode, updated)
+        grams[mode] = gram_matrix(updated, tracker=tracker)
+        last_mttkrp = mttkrp_result
+    assert last_mttkrp is not None
+    return last_mttkrp
+
+
+def cp_als(
+    tensor: np.ndarray,
+    rank: int,
+    n_sweeps: int = 50,
+    tol: float = 1.0e-5,
+    mttkrp: str = "dt",
+    initial_factors: Sequence[np.ndarray] | None = None,
+    seed: int | np.random.Generator | None = None,
+    tracker: CostTracker | None = None,
+    record_sweeps: bool = True,
+    callback: Callable[[int, list[np.ndarray], float], None] | None = None,
+    max_cache_bytes: int | None = None,
+) -> ALSResult:
+    """CP decomposition via alternating least squares (Algorithm 1).
+
+    Parameters
+    ----------
+    tensor:
+        Dense input tensor of order >= 2.
+    rank:
+        CP rank ``R``.
+    n_sweeps:
+        Maximum number of ALS sweeps.
+    tol:
+        Stopping criterion ``Delta``: the run stops when the relative residual
+        changes by less than ``tol`` between consecutive sweeps.
+    mttkrp:
+        MTTKRP engine: ``"naive"``, ``"unfolding"``, ``"dt"`` (standard
+        dimension tree) or ``"msdt"`` (multi-sweep dimension tree).  All
+        engines produce identical iterates; they differ only in cost.
+    initial_factors:
+        Optional explicit initial factor matrices (otherwise uniform random as
+        in the paper).
+    tracker:
+        Optional :class:`~repro.machine.cost_tracker.CostTracker`; a fresh one
+        is created when omitted and returned in the result.
+    record_sweeps:
+        When True (default) a :class:`~repro.core.results.SweepRecord` is kept
+        per sweep (fitness history, kernel breakdown).
+    callback:
+        Optional ``callback(sweep_index, factors, fitness)`` invoked after
+        every sweep.
+
+    Returns
+    -------
+    :class:`~repro.core.results.ALSResult`
+    """
+    tensor = check_dense_tensor(tensor, min_order=2)
+    rank = check_rank(rank)
+    n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
+    if tol < 0:
+        raise ValueError("tol must be non-negative")
+    tracker = tracker if tracker is not None else CostTracker()
+
+    if initial_factors is None:
+        factors = init_factors(tensor.shape, rank, seed=seed, method="uniform")
+    else:
+        factors = [np.array(f, dtype=np.float64, copy=True) for f in
+                   check_factor_matrices(initial_factors, shape=tensor.shape, rank=rank)]
+
+    provider = make_provider(mttkrp, tensor, factors, tracker=tracker,
+                             max_cache_bytes=max_cache_bytes)
+    grams = [gram_matrix(f, tracker=tracker) for f in provider.factors]
+    norm_t = tensor_norm(tensor)
+
+    records: list[SweepRecord] = []
+    residual = 1.0
+    previous_residual = np.inf
+    converged = False
+    cumulative = 0.0
+    run_start = time.perf_counter()
+    sweeps_run = 0
+
+    for sweep in range(n_sweeps):
+        sweep_start = time.perf_counter()
+        before = tracker.snapshot()
+        last_mttkrp = run_regular_sweep(provider, grams, tracker)
+        residual = residual_from_mttkrp(
+            norm_t, last_mttkrp, provider.factors[-1], grams, last_mode=provider.order - 1
+        )
+        elapsed = time.perf_counter() - sweep_start
+        cumulative += elapsed
+        sweeps_run = sweep + 1
+        if record_sweeps:
+            delta = tracker.diff_since(before)
+            records.append(
+                SweepRecord(
+                    index=sweep,
+                    sweep_type="als",
+                    fitness=1.0 - residual,
+                    residual=residual,
+                    elapsed_seconds=elapsed,
+                    cumulative_seconds=cumulative,
+                    kernel_seconds=delta.seconds_by_category,
+                    flops=delta.flops_by_category,
+                )
+            )
+        if callback is not None:
+            callback(sweep, [f.copy() for f in provider.factors], 1.0 - residual)
+        if abs(previous_residual - residual) < tol:
+            converged = True
+            break
+        previous_residual = residual
+
+    total_elapsed = time.perf_counter() - run_start
+    return ALSResult(
+        factors=[f.copy() for f in provider.factors],
+        fitness=1.0 - residual,
+        residual=residual,
+        n_sweeps=sweeps_run,
+        converged=converged,
+        sweeps=records,
+        tracker=tracker,
+        elapsed_seconds=total_elapsed,
+        options={
+            "rank": rank,
+            "n_sweeps": n_sweeps,
+            "tol": tol,
+            "mttkrp": mttkrp,
+        },
+    )

@@ -1,0 +1,91 @@
+"""Gram matrices, Hadamard chains and the quadratic subproblem solves.
+
+Each ALS mode update solves ``A^(n) Gamma^(n) = M^(n)`` where ``Gamma^(n)`` is
+the Hadamard product of the other Gram matrices (Eq. 1) and ``M^(n)`` the
+MTTKRP.  ``Gamma^(n)`` is symmetric positive semi-definite; the solver first
+attempts a Cholesky factorization (with a tiny diagonal shift) and falls back
+to the pseudo-inverse when the chain is numerically singular, which matches
+the ``M^(n) Gamma^(n)+`` update written in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+import scipy.linalg
+
+from repro.tensor.products import hadamard_all_but
+
+__all__ = ["gram_matrix", "gamma_chain", "solve_normal_equations"]
+
+
+def gram_matrix(factor: np.ndarray, tracker=None, category: str = "others") -> np.ndarray:
+    """Gram matrix ``S = A^T A`` of a factor."""
+    factor = np.asarray(factor)
+    start = time.perf_counter()
+    gram = factor.T @ factor
+    elapsed = time.perf_counter() - start
+    if tracker is not None:
+        rows, rank = factor.shape
+        tracker.add_flops(category, 2 * rows * rank * rank)
+        tracker.add_seconds(category, elapsed)
+    return gram
+
+
+def gamma_chain(grams: Sequence[np.ndarray], skip: int, tracker=None) -> np.ndarray:
+    """``Gamma^(skip)`` — the Hadamard chain of all Gram matrices except ``skip`` (Eq. 1)."""
+    start = time.perf_counter()
+    gamma = hadamard_all_but(list(grams), skip, tracker=tracker, category="hadamard")
+    elapsed = time.perf_counter() - start
+    if tracker is not None:
+        tracker.add_seconds("hadamard", elapsed)
+    return gamma
+
+
+def solve_normal_equations(
+    gamma: np.ndarray,
+    rhs: np.ndarray,
+    tracker=None,
+    category: str = "solve",
+    ridge: float = 0.0,
+) -> np.ndarray:
+    """Solve ``X @ gamma = rhs`` for ``X`` (i.e. ``X = rhs @ gamma^+``).
+
+    Parameters
+    ----------
+    gamma:
+        Symmetric positive semi-definite ``R x R`` matrix.
+    rhs:
+        ``(rows, R)`` right-hand side (the MTTKRP result).
+    ridge:
+        Optional Tikhonov term added to the diagonal (relative to the mean
+        diagonal magnitude) before factorizing; defaults to 0 with an
+        automatic tiny shift retried on failure.
+    """
+    gamma = np.asarray(gamma, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    if gamma.ndim != 2 or gamma.shape[0] != gamma.shape[1]:
+        raise ValueError(f"gamma must be square, got shape {gamma.shape}")
+    if rhs.ndim != 2 or rhs.shape[1] != gamma.shape[0]:
+        raise ValueError(
+            f"rhs shape {rhs.shape} incompatible with gamma shape {gamma.shape}"
+        )
+    rank = gamma.shape[0]
+    rows = rhs.shape[0]
+    start = time.perf_counter()
+    scale = float(np.mean(np.abs(np.diag(gamma)))) or 1.0
+    shifted = gamma if ridge == 0.0 else gamma + ridge * scale * np.eye(rank)
+    try:
+        chol = scipy.linalg.cho_factor(shifted, lower=True, check_finite=False)
+        solved = scipy.linalg.cho_solve(chol, rhs.T, check_finite=False).T
+    except scipy.linalg.LinAlgError:
+        # Gamma is numerically rank deficient (e.g. collinear factor columns):
+        # use the pseudo-inverse exactly as the update rule of the paper states.
+        solved = rhs @ np.linalg.pinv(gamma)
+    elapsed = time.perf_counter() - start
+    if tracker is not None:
+        tracker.add_flops(category, rank**3 // 3 + 2 * rows * rank * rank)
+        tracker.add_seconds(category, elapsed)
+    return solved

@@ -1,0 +1,90 @@
+"""Option bundles for the ALS drivers.
+
+The driver functions also accept these settings as plain keyword arguments;
+the dataclasses exist so experiments and benchmarks can carry configurations
+around as single objects and print them in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.validation import check_positive_int, check_rank
+
+__all__ = ["ALSOptions", "PPOptions", "ParallelOptions"]
+
+
+@dataclass
+class ALSOptions:
+    """Settings of a plain CP-ALS run (Algorithm 1)."""
+
+    rank: int
+    n_sweeps: int = 50
+    tol: float = 1.0e-5
+    mttkrp: str = "dt"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self.rank = check_rank(self.rank)
+        self.n_sweeps = check_positive_int(self.n_sweeps, "n_sweeps")
+        if self.tol < 0:
+            raise ValueError("tol must be non-negative")
+
+    def asdict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "n_sweeps": self.n_sweeps,
+            "tol": self.tol,
+            "mttkrp": self.mttkrp,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class PPOptions(ALSOptions):
+    """Settings of a pairwise-perturbation run (Algorithm 2).
+
+    ``pp_tol`` is the epsilon of Algorithm 2: PP sweeps are used while every
+    factor's relative step ``||dA^(i)||_F / ||A^(i)||_F`` stays below it.  The
+    paper uses 0.2 for the synthetic collinearity study and 0.1 for the
+    application tensors.
+    """
+
+    pp_tol: float = 0.1
+    mttkrp: str = "msdt"
+    max_pp_sweeps_per_phase: int = 200
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.pp_tol < 1.0:
+            raise ValueError("pp_tol must lie in (0, 1)")
+        self.max_pp_sweeps_per_phase = check_positive_int(
+            self.max_pp_sweeps_per_phase, "max_pp_sweeps_per_phase"
+        )
+
+    def asdict(self) -> dict:
+        out = super().asdict()
+        out.update({
+            "pp_tol": self.pp_tol,
+            "max_pp_sweeps_per_phase": self.max_pp_sweeps_per_phase,
+        })
+        return out
+
+
+@dataclass
+class ParallelOptions(ALSOptions):
+    """Settings of a parallel run (Algorithms 3 and 4)."""
+
+    grid: Sequence[int] = field(default_factory=lambda: (1,))
+    pp_tol: float = 0.1
+    distributed_solve: bool = True
+
+    def asdict(self) -> dict:
+        out = super().asdict()
+        out.update({
+            "grid": tuple(int(d) for d in self.grid),
+            "pp_tol": self.pp_tol,
+            "distributed_solve": self.distributed_solve,
+        })
+        return out

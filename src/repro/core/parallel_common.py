@@ -1,0 +1,333 @@
+"""Shared machinery of the parallel drivers (Algorithms 3 and 4).
+
+The drivers are written as BSP supersteps over a
+:class:`~repro.comm.simulated.SimulatedMachine`: local kernels run per rank on
+that rank's tensor block and factor blocks (recording their flops and wall
+time into the rank's cost tracker), and the collectives of Algorithm 3 (lines
+14, 17, 18) move data between ranks while charging the alpha-beta costs of
+Section II-E.  Because the data movement is performed exactly, the parallel
+drivers produce the same iterates as the sequential ones given the same
+initial factors — an invariant the integration tests rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.comm.simulated import SimulatedMachine
+from repro.core.initialization import init_factors
+from repro.core.normal_equations import solve_normal_equations
+from repro.distributed.dist_factor import DistributedFactor
+from repro.distributed.dist_tensor import DistributedTensor
+from repro.grid.distribution import split_rows_evenly
+from repro.grid.processor_grid import ProcessorGrid
+from repro.machine.params import MachineParams
+from repro.tensor.products import hadamard_all_but
+from repro.trees.base import MTTKRPProvider
+from repro.trees.registry import make_provider
+from repro.utils.validation import check_dense_tensor, check_factor_matrices
+
+__all__ = [
+    "ParallelState",
+    "setup_parallel_state",
+    "parallel_mode_update",
+    "zero_delta_factors",
+    "allreduce_rowwise_product",
+    "compute_gamma",
+]
+
+
+@dataclass
+class ParallelState:
+    """Everything a parallel sweep needs, bundled."""
+
+    grid: ProcessorGrid
+    machine: SimulatedMachine
+    dist_tensor: DistributedTensor
+    dist_factors: List[DistributedFactor]
+    providers: Dict[int, MTTKRPProvider]
+    grams: List[np.ndarray]
+    norm_t: float
+    rank: int
+    distributed_solve: bool = True
+    solve_latency_messages: int = 2
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def order(self) -> int:
+        return self.grid.order
+
+    def global_factors(self) -> list[np.ndarray]:
+        """Unpadded global factor matrices."""
+        return [df.to_global() for df in self.dist_factors]
+
+    def critical_modeled_time(self) -> float:
+        return self.machine.modeled_time()
+
+
+def _charge_all_ranks_flops(machine: SimulatedMachine, category: str, flops: int,
+                            seconds: float = 0.0) -> None:
+    for rank in range(machine.n_ranks):
+        tracker = machine.tracker(rank)
+        tracker.add_flops(category, flops)
+        if seconds:
+            tracker.add_seconds(category, seconds)
+
+
+def _allreduce_gram(state: ParallelState, mode: int) -> np.ndarray:
+    """Gram matrix of factor ``mode`` via per-rank row chunks + All-Reduce.
+
+    Mirrors lines 6-7 / 16-17 of Algorithm 3: the factor rows are distributed
+    over all ``P`` processors, each computes the Gram of its chunk, and an
+    All-Reduce over all processors replicates the result.
+    """
+    machine = state.machine
+    factor = state.dist_factors[mode].padded_global()
+    ranges = split_rows_evenly(factor.shape[0], machine.n_ranks)
+    contributions = {}
+    for rank, (start, stop) in enumerate(ranges):
+        chunk = factor[start:stop]
+        t0 = time.perf_counter()
+        local_gram = chunk.T @ chunk
+        elapsed = time.perf_counter() - t0
+        tracker = machine.tracker(rank)
+        tracker.add_flops("others", 2 * chunk.shape[0] * state.rank * state.rank)
+        tracker.add_seconds("others", elapsed)
+        contributions[rank] = local_gram
+    reduced = machine.all_reduce(contributions, list(range(machine.n_ranks)))
+    return reduced[0]
+
+
+def setup_parallel_state(
+    tensor: np.ndarray | DistributedTensor,
+    rank: int,
+    grid: ProcessorGrid | Sequence[int],
+    mttkrp: str = "dt",
+    machine: SimulatedMachine | None = None,
+    params: MachineParams | None = None,
+    initial_factors: Sequence[np.ndarray] | None = None,
+    seed: int | np.random.Generator | None = None,
+    distributed_solve: bool = True,
+    max_cache_bytes: int | None = None,
+) -> ParallelState:
+    """Distribute the tensor and factors and build the per-rank MTTKRP engines."""
+    if not isinstance(grid, ProcessorGrid):
+        grid = ProcessorGrid(grid)
+    if isinstance(tensor, DistributedTensor):
+        if tensor.grid != grid:
+            raise ValueError("distributed tensor was built for a different grid")
+        dist_tensor = tensor
+        global_shape = tensor.global_shape
+    else:
+        tensor = check_dense_tensor(tensor, min_order=2)
+        if tensor.ndim != grid.order:
+            raise ValueError(
+                f"tensor order {tensor.ndim} does not match grid order {grid.order}"
+            )
+        dist_tensor = DistributedTensor.from_dense(tensor, grid)
+        global_shape = tensor.shape
+
+    if machine is None:
+        machine = SimulatedMachine(grid.size, params=params)
+    elif machine.n_ranks != grid.size:
+        raise ValueError(
+            f"machine has {machine.n_ranks} ranks but grid needs {grid.size}"
+        )
+
+    if initial_factors is None:
+        factors = init_factors(global_shape, rank, seed=seed, method="uniform")
+    else:
+        factors = [np.array(f, dtype=np.float64, copy=True) for f in
+                   check_factor_matrices(initial_factors, shape=global_shape, rank=rank)]
+
+    dist_factors = [
+        DistributedFactor.from_global(factors[mode], mode, grid)
+        for mode in range(grid.order)
+    ]
+
+    providers: Dict[int, MTTKRPProvider] = {}
+    for proc in grid.ranks():
+        local_factors = [dist_factors[m].local_block_for(proc) for m in range(grid.order)]
+        providers[proc] = make_provider(
+            mttkrp,
+            dist_tensor.local_block(proc),
+            local_factors,
+            tracker=machine.tracker(proc),
+            max_cache_bytes=max_cache_bytes,
+        )
+
+    state = ParallelState(
+        grid=grid,
+        machine=machine,
+        dist_tensor=dist_tensor,
+        dist_factors=dist_factors,
+        providers=providers,
+        grams=[np.eye(rank)] * grid.order,
+        norm_t=dist_tensor.norm(),
+        rank=rank,
+        distributed_solve=distributed_solve,
+    )
+    # initial Gram matrices + All-Reduce (Algorithm 3 lines 4-9)
+    state.grams = [_allreduce_gram(state, mode) for mode in range(grid.order)]
+    return state
+
+
+def allreduce_rowwise_product(
+    state: ParallelState,
+    left_padded: np.ndarray,
+    right_padded: np.ndarray,
+    category: str = "others",
+) -> np.ndarray:
+    """``left^T @ right`` computed from per-rank row chunks + All-Reduce.
+
+    Used for the Gram updates ``S^(i) = A^(i)^T A^(i)`` and the PP step
+    products ``dS^(i) = A^(i)^T dA^(i)`` (Eq. 8), both of which Algorithm 3/4
+    compute on the row-distributed factors followed by an All-Reduce over all
+    processors.
+    """
+    if left_padded.shape != right_padded.shape:
+        raise ValueError(
+            f"row-wise product operands must share a shape, got {left_padded.shape} "
+            f"vs {right_padded.shape}"
+        )
+    machine = state.machine
+    ranges = split_rows_evenly(left_padded.shape[0], machine.n_ranks)
+    contributions = {}
+    for proc, (start, stop) in enumerate(ranges):
+        t0 = time.perf_counter()
+        local = left_padded[start:stop].T @ right_padded[start:stop]
+        elapsed = time.perf_counter() - t0
+        tracker = machine.tracker(proc)
+        tracker.add_flops(category, 2 * (stop - start) * state.rank * state.rank)
+        tracker.add_seconds(category, elapsed)
+        contributions[proc] = local
+    reduced = machine.all_reduce(contributions, list(range(machine.n_ranks)))
+    return reduced[0]
+
+
+def zero_delta_factors(state: ParallelState) -> list[DistributedFactor]:
+    """Distributed all-zero factor steps (one per mode)."""
+    deltas = []
+    for mode, df in enumerate(state.dist_factors):
+        blocks = [np.zeros((df.block_rows, df.rank)) for _ in range(state.grid.dims[mode])]
+        deltas.append(DistributedFactor(mode, df.global_rows, df.rank, state.grid, blocks))
+    return deltas
+
+
+def compute_gamma(state: ParallelState, mode: int) -> np.ndarray:
+    """``Gamma^(mode)`` (Eq. 1), computed redundantly on every rank."""
+    t0 = time.perf_counter()
+    gamma = hadamard_all_but(state.grams, mode)
+    elapsed = time.perf_counter() - t0
+    flops = max(len(state.grams) - 2, 0) * state.rank * state.rank
+    _charge_all_ranks_flops(state.machine, "hadamard", flops, elapsed)
+    return gamma
+
+
+def _solve_chunks(
+    state: ParallelState,
+    gamma: np.ndarray,
+    chunks: Dict[int, np.ndarray],
+    group: Sequence[int],
+) -> Dict[int, np.ndarray]:
+    """Solve the normal equations for each rank's row chunk, charging its cost.
+
+    ``distributed_solve=True`` models the paper's ScaLAPACK-style distributed
+    factorization (the R^3 cost is shared by the group, at the price of extra
+    latency); ``False`` models the PLANC approach where every rank factorizes
+    ``Gamma`` redundantly.
+    """
+    machine = state.machine
+    rank_r = state.rank
+    solved: Dict[int, np.ndarray] = {}
+    group = list(group)
+    for proc in group:
+        chunk = chunks[proc]
+        t0 = time.perf_counter()
+        solved[proc] = solve_normal_equations(gamma, chunk)
+        elapsed = time.perf_counter() - t0
+        tracker = machine.tracker(proc)
+        if state.distributed_solve:
+            tracker.add_flops("solve", rank_r**3 // (3 * len(group)) + 2 * chunk.shape[0] * rank_r**2)
+            if len(group) > 1:
+                tracker.add_messages(state.solve_latency_messages * max(len(group).bit_length() - 1, 0))
+                tracker.add_horizontal_words(rank_r * rank_r)
+        else:
+            tracker.add_flops("solve", rank_r**3 // 3 + 2 * chunk.shape[0] * rank_r**2)
+        tracker.add_seconds("solve", elapsed)
+    return solved
+
+
+def parallel_mode_update(
+    state: ParallelState,
+    mode: int,
+    contributions: Dict[int, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One mode update of Algorithm 3 (lines 12-18).
+
+    Parameters
+    ----------
+    state:
+        The parallel run state.
+    mode:
+        Mode being updated.
+    contributions:
+        Optional pre-computed per-rank local MTTKRP contributions (used by the
+        PP driver, whose contributions come from the PP operators instead of
+        the dimension tree).  When omitted they are obtained from each rank's
+        MTTKRP engine.
+
+    Returns
+    -------
+    (gamma, summed_mttkrp):
+        ``Gamma^(mode)`` and the globally summed (padded) MTTKRP ``M^(mode)``,
+        which the caller needs for the residual of Eq. (3).
+    """
+    grid = state.grid
+    machine = state.machine
+    gamma = compute_gamma(state, mode)
+
+    if contributions is None:
+        contributions = {}
+        for proc in grid.ranks():
+            contributions[proc] = state.providers[proc].mttkrp(mode)
+
+    slice_groups = grid.slice_groups(mode)
+    new_blocks: list[np.ndarray] = []
+    summed_blocks: list[np.ndarray] = []
+    gram_contribs: Dict[int, np.ndarray] = {}
+    for block_index, group in enumerate(slice_groups):
+        group_contribs = {proc: contributions[proc] for proc in group}
+        chunks = machine.reduce_scatter_rows(group_contribs, group)
+        summed_blocks.append(np.concatenate([chunks[proc] for proc in group], axis=0))
+        solved_chunks = _solve_chunks(state, gamma, chunks, group)
+        gathered = machine.all_gather_rows(solved_chunks, group)
+        new_block = gathered[group[0]]
+        new_blocks.append(new_block)
+        # each rank's Gram contribution comes from the chunk of rows it owns
+        for proc in group:
+            chunk = solved_chunks[proc]
+            t0 = time.perf_counter()
+            local_gram = chunk.T @ chunk
+            elapsed = time.perf_counter() - t0
+            tracker = machine.tracker(proc)
+            tracker.add_flops("others", 2 * chunk.shape[0] * state.rank * state.rank)
+            tracker.add_seconds("others", elapsed)
+            gram_contribs[proc] = local_gram
+
+    for block_index, block in enumerate(new_blocks):
+        state.dist_factors[mode].set_block(block_index, block)
+    for proc in grid.ranks():
+        state.providers[proc].set_factor(
+            mode, state.dist_factors[mode].local_block_for(proc)
+        )
+
+    reduced = machine.all_reduce(gram_contribs, list(grid.ranks()))
+    state.grams[mode] = reduced[0]
+
+    summed_mttkrp = np.concatenate(summed_blocks, axis=0)
+    return gamma, summed_mttkrp

@@ -1,0 +1,36 @@
+"""Analytic cost models reproducing Table I of the paper.
+
+:mod:`repro.costs.mttkrp_costs` implements every row of Table I (DT, MSDT,
+PP-init, PP-init-ref, PP-approx, PP-approx-ref): leading-order sequential and
+local flops, auxiliary memory, and horizontal / vertical communication for the
+per-sweep MTTKRP computation.  :mod:`repro.costs.sweep_model` composes them
+with the Gram/Hadamard/solve terms into modeled per-sweep times, which is how
+the paper-scale curves of Figure 3 and the Table II comparison are generated.
+"""
+
+from repro.costs.mttkrp_costs import (
+    KernelCosts,
+    dt_costs,
+    msdt_costs,
+    pp_init_costs,
+    pp_init_ref_costs,
+    pp_approx_costs,
+    pp_approx_ref_costs,
+    mttkrp_costs_for,
+    TABLE1_METHODS,
+)
+from repro.costs.sweep_model import sweep_time_model, SweepCostBreakdown
+
+__all__ = [
+    "KernelCosts",
+    "dt_costs",
+    "msdt_costs",
+    "pp_init_costs",
+    "pp_init_ref_costs",
+    "pp_approx_costs",
+    "pp_approx_ref_costs",
+    "mttkrp_costs_for",
+    "TABLE1_METHODS",
+    "sweep_time_model",
+    "SweepCostBreakdown",
+]

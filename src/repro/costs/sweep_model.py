@@ -1,0 +1,159 @@
+"""Modeled per-sweep times at arbitrary (paper-scale) problem sizes.
+
+Figure 3 of the paper compares PLANC, DT, MSDT, the PP initialization step and
+the PP approximated step on up to 1024 processors with local tensors of
+400^3 / 75^4 per processor — far beyond what can be executed in this
+repository's container.  :func:`sweep_time_model` composes the Table I MTTKRP
+costs with the remaining per-sweep work (Hadamard chains, normal-equation
+solves, Gram updates) under the alpha-beta-gamma-nu machine model so the
+paper-scale curves can be regenerated; the executed small-scale runs validate
+the model's shape (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.costs.mttkrp_costs import mttkrp_costs_for
+from repro.machine.params import MachineParams
+
+__all__ = ["SweepCostBreakdown", "sweep_time_model", "MODELED_METHODS"]
+
+#: methods accepted by :func:`sweep_time_model` — the five bars of Fig. 3
+MODELED_METHODS = ("planc", "dt", "msdt", "pp-init", "pp-approx")
+
+
+@dataclass(frozen=True)
+class SweepCostBreakdown:
+    """Modeled seconds of one sweep, split into the categories of Fig. 3c-f."""
+
+    method: str
+    ttm_seconds: float
+    mttv_seconds: float
+    hadamard_seconds: float
+    solve_seconds: float
+    others_seconds: float
+    communication_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.ttm_seconds
+            + self.mttv_seconds
+            + self.hadamard_seconds
+            + self.solve_seconds
+            + self.others_seconds
+            + self.communication_seconds
+        )
+
+    def category_seconds(self) -> dict[str, float]:
+        return {
+            "ttm": self.ttm_seconds,
+            "mttv": self.mttv_seconds,
+            "hadamard": self.hadamard_seconds,
+            "solve": self.solve_seconds,
+            "others": self.others_seconds,
+            "comm": self.communication_seconds,
+        }
+
+
+def sweep_time_model(
+    method: str,
+    s_local: float,
+    order: int,
+    rank: int,
+    n_procs: int,
+    params: MachineParams | None = None,
+) -> SweepCostBreakdown:
+    """Modeled per-sweep time for one of the Fig. 3 methods.
+
+    Parameters
+    ----------
+    method:
+        ``"planc"`` (DT MTTKRP + fully redundant sequential solve, the PLANC
+        baseline), ``"dt"``, ``"msdt"``, ``"pp-init"`` or ``"pp-approx"``.
+    s_local:
+        Per-processor local mode size (the paper's weak-scaling studies keep
+        this fixed; the global mode size is ``s_local * P^(1/N)``).
+    order, rank, n_procs:
+        Tensor order ``N``, CP rank ``R`` and processor count ``P``.
+    params:
+        Machine parameters; KNL-like defaults when omitted.
+    """
+    method = method.lower().strip()
+    if method not in MODELED_METHODS:
+        raise ValueError(f"unknown method {method!r}; available: {MODELED_METHODS}")
+    if params is None:
+        params = MachineParams.knl_like()
+    if s_local <= 0 or rank <= 0 or n_procs <= 0:
+        raise ValueError("s_local, rank and n_procs must be positive")
+    if order < 2:
+        raise ValueError("order must be at least 2")
+
+    s_global = s_local * n_procs ** (1.0 / order)
+    cost_key = {"planc": "dt"}.get(method, method)
+    kernel = mttkrp_costs_for(cost_key, s_global, order, rank, n_procs)
+
+    local_tensor_words = s_local**order
+
+    # --- split the MTTKRP flops into the TTM and mTTV kernels ----------------
+    if method in ("planc", "dt", "msdt", "pp-init"):
+        if method == "msdt":
+            ttm_flops = 2.0 * order / (order - 1) * local_tensor_words * rank
+        else:
+            ttm_flops = 4.0 * local_tensor_words * rank
+        mttv_flops = max(kernel.local_flops - ttm_flops, 0.0)
+        # second-level contractions dominate the remaining mTTV work
+        mttv_flops += 4.0 * local_tensor_words ** ((order - 1) / order) * rank
+    else:  # pp-approx: no TTM at all, everything is (local) mTTV work
+        ttm_flops = 0.0
+        mttv_flops = kernel.local_flops
+
+    transpose_words = 0.0
+    if method == "pp-init" and order > 3:
+        # Section IV: the PP operator tree needs explicit tensor transposes for
+        # order > 3, which enlarges the leading constant of the vertical
+        # communication of its mTTV kernels (this is why PP-init is slower
+        # than a DT sweep in the paper's order-4 benchmarks).
+        transpose_words = 2.0 * (order - 3) * local_tensor_words
+
+    ttm_seconds = params.gamma * ttm_flops
+    # the mTTV kernel is memory-bandwidth (vertical) bound — charge the larger
+    # of its flop time and its memory-traffic time, as the paper's Section IV
+    # analysis does
+    streams_tensor = method in ("planc", "dt", "msdt", "pp-init")
+    mttv_vertical_words = kernel.vertical_words - (local_tensor_words if streams_tensor else 0.0)
+    mttv_seconds = max(
+        params.gamma * mttv_flops,
+        params.nu * max(mttv_vertical_words, 0.0),
+    ) + params.nu * transpose_words
+    # streaming the local tensor block itself is attributed to the TTM kernel
+    ttm_seconds = max(ttm_seconds, params.nu * local_tensor_words) if ttm_flops > 0 else ttm_seconds
+
+    # --- remaining per-sweep work --------------------------------------------
+    hadamard_seconds = params.gamma * (order * max(order - 2, 1) * rank * rank)
+    rows_per_proc = s_global / n_procs ** (1.0 / order)
+    if method == "planc":
+        solve_flops = order * (rank**3 / 3.0 + 2.0 * rows_per_proc * rank**2)
+        solve_messages = 0.0
+    else:
+        solve_flops = order * (rank**3 / (3.0 * n_procs) + 2.0 * rows_per_proc * rank**2 / max(n_procs ** ((order - 1) / order), 1.0))
+        solve_messages = 2.0 * order * math.log2(n_procs) if n_procs > 1 else 0.0
+    solve_seconds = params.gamma * solve_flops + params.alpha * solve_messages
+
+    others_seconds = params.gamma * (2.0 * order * rows_per_proc * rank**2)
+
+    communication_seconds = (
+        params.alpha * kernel.horizontal_messages + params.beta * kernel.horizontal_words
+    )
+
+    return SweepCostBreakdown(
+        method=method,
+        ttm_seconds=ttm_seconds,
+        mttv_seconds=mttv_seconds,
+        hadamard_seconds=hadamard_seconds,
+        solve_seconds=solve_seconds,
+        others_seconds=others_seconds,
+        communication_seconds=communication_seconds,
+    )

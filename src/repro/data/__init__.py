@@ -1,0 +1,33 @@
+"""Synthetic workload generators mirroring the paper's evaluation tensors.
+
+* :mod:`repro.data.collinearity` — the Section V-A.1 tensors with prescribed
+  factor-column collinearity (exactly the paper's construction, scaled down).
+* :mod:`repro.data.quantum_chemistry` — a synthetic density-fitting tensor
+  (Cholesky factor of a two-electron-integral-like tensor) replacing the
+  paper's PySCF-generated 40-water-chain intermediate.
+* :mod:`repro.data.coil` — a synthetic rotating-objects image tensor replacing
+  COIL-100.
+* :mod:`repro.data.hyperspectral` — a synthetic time-lapse hyperspectral
+  radiance cube replacing the "Souto wood pile" dataset.
+* :mod:`repro.data.lowrank` — generic exact-low-rank (plus optional noise)
+  tensors used throughout the test suite.
+
+Every generator is deterministic given its ``seed`` and returns ``float64``
+dense arrays.  DESIGN.md documents why each substitution preserves the
+behaviour the corresponding experiment measures.
+"""
+
+from repro.data.lowrank import random_low_rank_tensor
+from repro.data.collinearity import collinearity_factors, collinearity_tensor
+from repro.data.quantum_chemistry import density_fitting_tensor
+from repro.data.coil import coil_like_tensor
+from repro.data.hyperspectral import hyperspectral_tensor
+
+__all__ = [
+    "random_low_rank_tensor",
+    "collinearity_factors",
+    "collinearity_tensor",
+    "density_fitting_tensor",
+    "coil_like_tensor",
+    "hyperspectral_tensor",
+]

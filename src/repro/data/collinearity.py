@@ -1,0 +1,91 @@
+"""Tensors with prescribed factor-column collinearity (Section V-A.1).
+
+Each factor matrix ``A^(n)`` in ``R^{s x R}`` is generated so that every pair
+of its columns has the same cosine similarity ``C``:
+
+``<a_i, a_j> / (||a_i|| ||a_j||) = C  for all i != j``.
+
+The construction draws a random column-orthonormal ``Q`` and sets
+``A = Q L`` where ``L L^T = K`` is the Cholesky factor of the target
+correlation matrix ``K = (1-C) I + C 11^T``; then ``A^T A = K`` exactly.
+Higher collinearity makes CP-ALS converge in more sweeps (Rajih et al.), which
+is what Figure 4 / Table III of the paper study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.cp_format import CPTensor
+from repro.utils.random import as_rng
+from repro.utils.validation import check_probability, check_rank
+
+__all__ = ["collinearity_factors", "collinearity_tensor", "CollinearityTensor"]
+
+
+def collinearity_factors(
+    mode_size: int,
+    rank: int,
+    collinearity: float,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """One factor matrix whose columns all have pairwise cosine ``collinearity``."""
+    rank = check_rank(rank)
+    collinearity = check_probability(collinearity, "collinearity")
+    if mode_size < rank:
+        raise ValueError(
+            f"mode size {mode_size} must be at least the rank {rank} for the "
+            "collinearity construction"
+        )
+    rng = as_rng(seed)
+    # random column-orthonormal basis
+    gaussian = rng.standard_normal((mode_size, rank))
+    q, _ = np.linalg.qr(gaussian)
+    # target correlation matrix and its Cholesky factor
+    correlation = (1.0 - collinearity) * np.eye(rank) + collinearity * np.ones((rank, rank))
+    # for collinearity extremely close to 1 the matrix is numerically singular;
+    # nudge the diagonal so the Cholesky factorization stays well defined
+    correlation += 1e-12 * np.eye(rank)
+    chol = np.linalg.cholesky(correlation)
+    return q @ chol.T
+
+
+@dataclass
+class CollinearityTensor:
+    """A generated collinearity tensor together with its ground-truth factors."""
+
+    tensor: np.ndarray
+    factors: list[np.ndarray]
+    collinearity: float
+
+    @property
+    def cp(self) -> CPTensor:
+        return CPTensor([f.copy() for f in self.factors])
+
+
+def collinearity_tensor(
+    shape: Sequence[int],
+    rank: int,
+    collinearity_range: tuple[float, float] = (0.0, 1.0),
+    seed: int | np.random.Generator | None = None,
+) -> CollinearityTensor:
+    """Dense tensor built from factors with a (randomly drawn) shared collinearity.
+
+    ``collinearity_range = [a, b)`` follows the paper: one scalar ``C`` is
+    drawn uniformly from the interval and used for every factor matrix.  The
+    resulting tensor has CP rank bounded by ``rank``.
+    """
+    rank = check_rank(rank)
+    low, high = collinearity_range
+    low = check_probability(low, "collinearity_range[0]")
+    high = check_probability(high, "collinearity_range[1]")
+    if high < low:
+        raise ValueError("collinearity_range must satisfy a <= b")
+    rng = as_rng(seed)
+    drawn = float(rng.uniform(low, high)) if high > low else low
+    factors = [collinearity_factors(int(s), rank, drawn, seed=rng) for s in shape]
+    cp = CPTensor(factors)
+    return CollinearityTensor(tensor=cp.full(), factors=factors, collinearity=drawn)

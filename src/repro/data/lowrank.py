@@ -1,0 +1,38 @@
+"""Generic exact-low-rank tensors with optional additive noise."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.cp_format import random_cp_tensor
+from repro.utils.random import as_rng
+from repro.utils.validation import check_rank
+
+__all__ = ["random_low_rank_tensor"]
+
+
+def random_low_rank_tensor(
+    shape: Sequence[int],
+    rank: int,
+    noise: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+    distribution: str = "uniform",
+) -> np.ndarray:
+    """Dense tensor of exact CP rank ``rank`` plus relative Gaussian noise.
+
+    ``noise`` is the ratio of the Frobenius norm of the added Gaussian
+    perturbation to the norm of the exact low-rank tensor; ``noise=0`` gives a
+    tensor that CP-ALS can fit exactly (up to local minima).
+    """
+    rank = check_rank(rank)
+    if noise < 0:
+        raise ValueError("noise must be non-negative")
+    rng = as_rng(seed)
+    exact = random_cp_tensor(shape, rank, seed=rng, distribution=distribution).full()
+    if noise == 0.0:
+        return exact
+    perturbation = rng.standard_normal(exact.shape)
+    perturbation *= noise * np.linalg.norm(exact) / np.linalg.norm(perturbation)
+    return exact + perturbation

@@ -1,0 +1,13 @@
+"""Distributed (block-partitioned) tensors and factor matrices.
+
+These classes implement the data layout of Algorithm 3 in the paper: the
+order-``N`` input tensor is block-distributed over an order-``N`` processor
+grid, and each factor matrix ``A^(i)`` is stored as one row block per value of
+the ``i``-th grid coordinate — the block every processor in the corresponding
+grid slice holds redundantly after the mode-``i`` All-Gather.
+"""
+
+from repro.distributed.dist_tensor import DistributedTensor
+from repro.distributed.dist_factor import DistributedFactor
+
+__all__ = ["DistributedTensor", "DistributedFactor"]

@@ -1,0 +1,72 @@
+"""Table II — per-sweep MTTKRP time of our PP kernels vs the reference PP.
+
+The reference implementation of pairwise perturbation [21] parallelizes the
+PP initialization as a general distributed matrix multiplication (with tensor
+redistributions between contractions) and the approximated step with the
+operators distributed over all processors; our implementation keeps both steps
+local to each processor's tensor block.  The table evaluates the cost models
+of both organizations (Table I rows plus the redistribution overhead the
+paper's Section IV describes) for the grid configurations of Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.mttkrp_costs import (
+    pp_approx_costs,
+    pp_approx_ref_costs,
+    pp_init_costs,
+    pp_init_ref_costs,
+)
+from repro.machine.params import MachineParams
+
+__all__ = ["pp_vs_reference_table", "PAPER_TABLE2_CONFIGS"]
+
+#: (grid, s_local, rank) configurations of Table II: the order-3 columns use the
+#: Fig. 3a sizes (s_local = 400, R = 400) and the order-4 columns the Fig. 3b
+#: sizes (s_local = 75, R = 200).
+PAPER_TABLE2_CONFIGS: tuple[tuple[tuple[int, ...], int, int], ...] = (
+    ((2, 4, 4), 400, 400),
+    ((4, 4, 4), 400, 400),
+    ((4, 4, 8), 400, 400),
+    ((4, 8, 8), 400, 400),
+    ((2, 2, 2, 4), 75, 200),
+    ((2, 2, 4, 4), 75, 200),
+    ((2, 4, 4, 4), 75, 200),
+    ((4, 4, 4, 4), 75, 200),
+)
+
+
+def pp_vs_reference_table(
+    configs: Sequence[tuple[Sequence[int], int, int]] = PAPER_TABLE2_CONFIGS,
+    params: MachineParams | None = None,
+) -> list[dict]:
+    """Modeled per-sweep times of PP-init / PP-approx vs their reference variants.
+
+    Each returned row contains the grid label and the four times (seconds); the
+    benchmark prints them in the same layout as Table II of the paper.
+    """
+    params = params if params is not None else MachineParams.knl_like()
+    rows = []
+    for grid, s_local, rank in configs:
+        grid = tuple(int(d) for d in grid)
+        order = len(grid)
+        n_procs = int(np.prod(grid))
+        s_global = s_local * n_procs ** (1.0 / order)
+        row = {
+            "grid": "x".join(str(d) for d in grid),
+            "order": order,
+            "pp_init": pp_init_costs(s_global, order, rank, n_procs).modeled_time(params),
+            "pp_init_ref": pp_init_ref_costs(s_global, order, rank, n_procs).modeled_time(params),
+            "pp_approx": pp_approx_costs(s_global, order, rank, n_procs).modeled_time(params),
+            "pp_approx_ref": pp_approx_ref_costs(s_global, order, rank, n_procs).modeled_time(params),
+        }
+        row["init_speedup"] = row["pp_init_ref"] / row["pp_init"] if row["pp_init"] else float("inf")
+        row["approx_speedup"] = (
+            row["pp_approx_ref"] / row["pp_approx"] if row["pp_approx"] else float("inf")
+        )
+        rows.append(row)
+    return rows

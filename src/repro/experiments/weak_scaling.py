@@ -1,0 +1,168 @@
+"""Weak-scaling study of per-sweep time (Figures 3a and 3b).
+
+Two modes:
+
+* :func:`modeled_weak_scaling` evaluates the alpha-beta-gamma-nu sweep model
+  at the paper's scale (``s_local = 400, R = 400`` for order 3;
+  ``s_local = 75, R = 200`` for order 4) for the full list of processor grids
+  of Fig. 3a/3b.
+* :func:`executed_weak_scaling` actually runs Algorithm 3 / Algorithm 4 on the
+  simulated machine for container-sized grids (keeping the local tensor size
+  fixed, exactly like the paper's weak scaling), reporting both the measured
+  local kernel times and the modeled parallel per-sweep time.
+
+The paper's grid lists are exposed as :data:`PAPER_GRIDS_ORDER3` and
+:data:`PAPER_GRIDS_ORDER4`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parallel_cp_als import parallel_cp_als
+from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
+from repro.costs.sweep_model import MODELED_METHODS, sweep_time_model
+from repro.data.lowrank import random_low_rank_tensor
+from repro.machine.params import MachineParams
+
+__all__ = [
+    "WeakScalingPoint",
+    "modeled_weak_scaling",
+    "executed_weak_scaling",
+    "PAPER_GRIDS_ORDER3",
+    "PAPER_GRIDS_ORDER4",
+]
+
+#: processor grids of Fig. 3a (order 3)
+PAPER_GRIDS_ORDER3: tuple[tuple[int, ...], ...] = (
+    (1, 1, 1), (1, 1, 2), (1, 2, 2), (2, 2, 2), (2, 2, 4), (2, 4, 4),
+    (4, 4, 4), (4, 4, 8), (4, 8, 8), (8, 8, 8), (8, 8, 16),
+)
+
+#: processor grids of Fig. 3b (order 4)
+PAPER_GRIDS_ORDER4: tuple[tuple[int, ...], ...] = (
+    (1, 1, 1, 1), (1, 1, 1, 2), (1, 1, 2, 2), (1, 2, 2, 2), (2, 2, 2, 2),
+    (2, 2, 2, 4), (2, 2, 4, 4), (2, 4, 4, 4), (4, 4, 4, 4), (4, 4, 4, 8),
+    (4, 4, 8, 8),
+)
+
+
+@dataclass
+class WeakScalingPoint:
+    """One (grid, method) measurement of the weak-scaling study."""
+
+    grid: tuple[int, ...]
+    method: str
+    per_sweep_seconds: float
+    breakdown: dict = field(default_factory=dict)
+    source: str = "model"
+
+    @property
+    def n_procs(self) -> int:
+        return int(np.prod(self.grid))
+
+    def asdict(self) -> dict:
+        return {
+            "grid": "x".join(str(d) for d in self.grid),
+            "method": self.method,
+            "per_sweep_seconds": self.per_sweep_seconds,
+            "source": self.source,
+        }
+
+
+def modeled_weak_scaling(
+    order: int,
+    s_local: int,
+    rank: int,
+    grids: Sequence[Sequence[int]] | None = None,
+    methods: Sequence[str] = MODELED_METHODS,
+    params: MachineParams | None = None,
+) -> list[WeakScalingPoint]:
+    """Per-sweep modeled times for every (grid, method) pair at paper scale."""
+    if grids is None:
+        if order == 3:
+            grids = PAPER_GRIDS_ORDER3
+        elif order == 4:
+            grids = PAPER_GRIDS_ORDER4
+        else:
+            raise ValueError("default grids exist only for orders 3 and 4")
+    params = params if params is not None else MachineParams.knl_like()
+    points = []
+    for grid in grids:
+        grid = tuple(int(d) for d in grid)
+        if len(grid) != order:
+            raise ValueError(f"grid {grid} does not match order {order}")
+        n_procs = int(np.prod(grid))
+        for method in methods:
+            breakdown = sweep_time_model(method, s_local, order, rank, n_procs, params)
+            points.append(
+                WeakScalingPoint(
+                    grid=grid,
+                    method=method,
+                    per_sweep_seconds=breakdown.total_seconds,
+                    breakdown=breakdown.category_seconds(),
+                    source="model",
+                )
+            )
+    return points
+
+
+def executed_weak_scaling(
+    order: int,
+    s_local: int,
+    rank: int,
+    grids: Sequence[Sequence[int]],
+    n_sweeps: int = 3,
+    seed: int = 0,
+    params: MachineParams | None = None,
+    methods: Sequence[str] = ("planc", "dt", "msdt", "pp-init", "pp-approx"),
+) -> list[WeakScalingPoint]:
+    """Actually execute Algorithms 3/4 on the simulated machine (weak scaling).
+
+    The tensor for each grid has global mode sizes ``s_local * grid[i]`` so the
+    per-processor block stays ``s_local^order`` — the same weak-scaling setup
+    as the paper, at container-friendly sizes.  ``pp-init`` / ``pp-approx``
+    per-sweep times are taken from the corresponding sweep types of a
+    :func:`~repro.core.parallel_pp_cp_als.parallel_pp_cp_als` run with a
+    permissive PP tolerance so both phases are exercised.
+    """
+    params = params if params is not None else MachineParams.knl_like()
+    points: list[WeakScalingPoint] = []
+    for grid in grids:
+        grid = tuple(int(d) for d in grid)
+        if len(grid) != order:
+            raise ValueError(f"grid {grid} does not match order {order}")
+        shape = tuple(s_local * d for d in grid)
+        tensor = random_low_rank_tensor(shape, rank=max(rank // 2, 2), noise=0.05, seed=seed)
+        initial = None
+
+        def _mean_modeled(result, sweep_type: str) -> tuple[float, dict]:
+            values = [s for s in result.sweeps if s.sweep_type == sweep_type]
+            if not values:
+                return 0.0, {}
+            mean_time = float(np.mean([s.modeled_seconds for s in values]))
+            return mean_time, values[-1].kernel_seconds
+
+        for method in methods:
+            if method in ("planc", "dt", "msdt"):
+                result = parallel_cp_als(
+                    tensor, rank, grid, n_sweeps=n_sweeps, tol=0.0,
+                    mttkrp="dt" if method == "planc" else method,
+                    params=params, seed=seed, initial_factors=initial,
+                    distributed_solve=(method != "planc"),
+                )
+                mean_time, breakdown = _mean_modeled(result, "als")
+                points.append(WeakScalingPoint(grid, method, mean_time, breakdown, "executed"))
+            else:
+                result = parallel_pp_cp_als(
+                    tensor, rank, grid, n_sweeps=4 * n_sweeps, tol=0.0,
+                    pp_tol=0.6, params=params, seed=seed,
+                    initial_factors=initial,
+                )
+                sweep_type = "pp-init" if method == "pp-init" else "pp-approx"
+                mean_time, breakdown = _mean_modeled(result, sweep_type)
+                points.append(WeakScalingPoint(grid, method, mean_time, breakdown, "executed"))
+    return points

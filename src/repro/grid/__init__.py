@@ -1,0 +1,26 @@
+"""Logical processor grids and block data distributions.
+
+The parallel algorithms distribute an order-``N`` tensor over an order-``N``
+processor grid (Section II-E of the paper).  :class:`ProcessorGrid` handles
+rank <-> coordinate arithmetic and the "slice" groups used by the per-mode
+collectives; :mod:`repro.grid.distribution` implements the padded block
+distribution of tensor modes and factor matrix rows.
+"""
+
+from repro.grid.processor_grid import ProcessorGrid
+from repro.grid.distribution import (
+    padded_block_size,
+    block_range,
+    pad_rows,
+    local_block_slices,
+    split_rows_evenly,
+)
+
+__all__ = [
+    "ProcessorGrid",
+    "padded_block_size",
+    "block_range",
+    "pad_rows",
+    "local_block_slices",
+    "split_rows_evenly",
+]

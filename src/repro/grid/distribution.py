@@ -1,0 +1,89 @@
+"""Padded block distributions of tensor modes and factor-matrix rows.
+
+The paper distributes the dense tensor uniformly over the processor grid with
+local blocks of size ``ceil(s_i / I_i)`` per mode, padding with zeros when the
+mode size is not divisible (Section II-A).  Zero padding keeps every local
+block the same shape (so collective payloads are uniform) and does not change
+any MTTKRP/Gram results because the padded rows are identically zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "padded_block_size",
+    "block_range",
+    "pad_rows",
+    "local_block_slices",
+    "split_rows_evenly",
+]
+
+
+def padded_block_size(extent: int, n_blocks: int) -> int:
+    """Uniform (padded) block size ``ceil(extent / n_blocks)``."""
+    if extent <= 0:
+        raise ValueError("extent must be positive")
+    if n_blocks <= 0:
+        raise ValueError("n_blocks must be positive")
+    return -(-extent // n_blocks)
+
+
+def block_range(extent: int, n_blocks: int, block_index: int) -> tuple[int, int]:
+    """Half-open global index range ``[start, stop)`` covered by one block.
+
+    The last blocks may cover fewer than ``padded_block_size`` true entries
+    (or none at all when ``n_blocks * block >= extent`` already before them).
+    """
+    if not 0 <= block_index < n_blocks:
+        raise ValueError(f"block index {block_index} out of range for {n_blocks} blocks")
+    b = padded_block_size(extent, n_blocks)
+    start = min(block_index * b, extent)
+    stop = min(start + b, extent)
+    return start, stop
+
+
+def pad_rows(array: np.ndarray, target_rows: int) -> np.ndarray:
+    """Zero-pad ``array`` along axis 0 up to ``target_rows`` rows."""
+    array = np.asarray(array)
+    if array.shape[0] > target_rows:
+        raise ValueError(
+            f"cannot pad array with {array.shape[0]} rows down to {target_rows}"
+        )
+    if array.shape[0] == target_rows:
+        return array
+    pad_width = [(0, target_rows - array.shape[0])] + [(0, 0)] * (array.ndim - 1)
+    return np.pad(array, pad_width)
+
+
+def local_block_slices(shape: tuple[int, ...], grid_dims: tuple[int, ...],
+                       coordinate: tuple[int, ...]) -> tuple[slice, ...]:
+    """Global index slices of the block owned by grid ``coordinate``."""
+    if len(shape) != len(grid_dims) or len(shape) != len(coordinate):
+        raise ValueError("shape, grid dims and coordinate must have equal length")
+    slices = []
+    for extent, blocks, coord in zip(shape, grid_dims, coordinate):
+        start, stop = block_range(extent, blocks, coord)
+        slices.append(slice(start, stop))
+    return tuple(slices)
+
+
+def split_rows_evenly(n_rows: int, n_parts: int) -> list[tuple[int, int]]:
+    """Split ``n_rows`` into ``n_parts`` contiguous near-equal ranges.
+
+    Used to scatter the rows a slice group owns across its members after a
+    Reduce-Scatter (the ``Q`` distribution of Algorithm 3).
+    """
+    if n_rows < 0:
+        raise ValueError("n_rows must be non-negative")
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    base = n_rows // n_parts
+    extra = n_rows % n_parts
+    ranges = []
+    start = 0
+    for i in range(n_parts):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges

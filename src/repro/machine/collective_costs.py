@@ -1,0 +1,66 @@
+"""Collective communication cost formulas (Section II-E of the paper).
+
+For a group of ``P`` processors on a fully connected network and a payload of
+``n`` words per processor:
+
+* ``All-Gather``:      ``log2(P) * alpha + n * delta(P) * beta``
+* ``Reduce-Scatter``:  ``log2(P) * alpha + n * delta(P) * beta``
+* ``All-Reduce``:      ``2 log2(P) * alpha + 2 n * delta(P) * beta``
+* ``Broadcast``:       ``log2(P) * alpha + n * delta(P) * beta``
+
+where ``delta(P) = 1`` if ``P > 1`` and ``0`` otherwise.  The functions below
+return ``(messages, words)`` pairs; the simulated communicator charges them to
+the per-rank cost trackers, and :mod:`repro.costs` uses them for the analytic
+per-sweep model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = [
+    "all_gather_cost",
+    "reduce_scatter_cost",
+    "all_reduce_cost",
+    "broadcast_cost",
+]
+
+
+def _validate(n_words: float, n_procs: int) -> None:
+    if n_words < 0:
+        raise ValueError("word count must be non-negative")
+    if n_procs < 1:
+        raise ValueError("process count must be at least 1")
+
+
+def _log2_ceil(p: int) -> float:
+    return math.ceil(math.log2(p)) if p > 1 else 0.0
+
+
+def all_gather_cost(n_words: float, n_procs: int) -> Tuple[float, float]:
+    """(messages, words) cost of an All-Gather of total output size ``n_words``."""
+    _validate(n_words, n_procs)
+    delta = 1.0 if n_procs > 1 else 0.0
+    return _log2_ceil(n_procs), n_words * delta
+
+
+def reduce_scatter_cost(n_words: float, n_procs: int) -> Tuple[float, float]:
+    """(messages, words) cost of a Reduce-Scatter over input size ``n_words``."""
+    _validate(n_words, n_procs)
+    delta = 1.0 if n_procs > 1 else 0.0
+    return _log2_ceil(n_procs), n_words * delta
+
+
+def all_reduce_cost(n_words: float, n_procs: int) -> Tuple[float, float]:
+    """(messages, words) cost of an All-Reduce of size ``n_words``."""
+    _validate(n_words, n_procs)
+    delta = 1.0 if n_procs > 1 else 0.0
+    return 2.0 * _log2_ceil(n_procs), 2.0 * n_words * delta
+
+
+def broadcast_cost(n_words: float, n_procs: int) -> Tuple[float, float]:
+    """(messages, words) cost of a Broadcast of size ``n_words``."""
+    _validate(n_words, n_procs)
+    delta = 1.0 if n_procs > 1 else 0.0
+    return _log2_ceil(n_procs), n_words * delta

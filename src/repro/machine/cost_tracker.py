@@ -1,0 +1,245 @@
+"""Cost accounting for executed kernels and modeled communication.
+
+A :class:`CostTracker` accumulates, per named category (``"ttm"``, ``"mttv"``,
+``"hadamard"``, ``"solve"``, ``"others"`` ... — the categories of the paper's
+Figure 3c-f breakdown):
+
+* floating point operations actually performed by the kernels,
+* horizontal communication (messages and words) charged by the simulated
+  collectives,
+* vertical communication words (memory traffic estimates recorded by the
+  kernels).
+
+:meth:`CostTracker.modeled_time` converts the counters into seconds under a
+:class:`repro.machine.params.MachineParams`, which is how the per-sweep times
+of Figures 3a-f and Table II are produced at paper scale.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.machine.params import MachineParams
+
+__all__ = ["CostTracker", "CostBreakdown"]
+
+
+@dataclass
+class CostBreakdown:
+    """Per-category modeled seconds plus communication totals."""
+
+    compute_seconds: Dict[str, float] = field(default_factory=dict)
+    vertical_seconds: Dict[str, float] = field(default_factory=dict)
+    horizontal_seconds: float = 0.0
+    latency_seconds: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            sum(self.compute_seconds.values())
+            + sum(self.vertical_seconds.values())
+            + self.horizontal_seconds
+            + self.latency_seconds
+        )
+
+    def category_seconds(self, include_vertical: bool = True) -> Dict[str, float]:
+        """Per-category seconds (compute + vertical), plus a ``"comm"`` entry."""
+        out: Dict[str, float] = defaultdict(float)
+        for cat, sec in self.compute_seconds.items():
+            out[cat] += sec
+        if include_vertical:
+            for cat, sec in self.vertical_seconds.items():
+                out[cat] += sec
+        out["comm"] += self.horizontal_seconds + self.latency_seconds
+        return dict(out)
+
+
+class CostTracker:
+    """Accumulates flop / message / word counters with category labels."""
+
+    def __init__(self) -> None:
+        self._flops: Dict[str, int] = defaultdict(int)
+        self._vertical_words: Dict[str, int] = defaultdict(int)
+        self._seconds: Dict[str, float] = defaultdict(float)
+        self._horizontal_words: int = 0
+        self._messages: int = 0
+        self._default_category = "others"
+
+    # -- recording ---------------------------------------------------------
+    def add_flops(self, category: str, flops: int) -> None:
+        """Record ``flops`` floating point operations under ``category``."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        self._flops[category or self._default_category] += int(flops)
+
+    def add_seconds(self, category: str, seconds: float) -> None:
+        """Record measured wall-clock ``seconds`` under ``category``.
+
+        Kernels record their own elapsed time so the measured per-sweep
+        breakdown (Figure 3c-f) can distinguish TTM from mTTV even though both
+        happen inside a single MTTKRP call.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._seconds[category or self._default_category] += float(seconds)
+
+    def add_vertical_words(self, words: int, category: str | None = None) -> None:
+        """Record ``words`` of main-memory traffic (vertical communication)."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        self._vertical_words[category or self._default_category] += int(words)
+
+    def add_horizontal_words(self, words: int) -> None:
+        """Record ``words`` moved between processors."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        self._horizontal_words += int(words)
+
+    def add_messages(self, count: int) -> None:
+        """Record ``count`` messages (latency-bound events)."""
+        if count < 0:
+            raise ValueError("message count must be non-negative")
+        self._messages += int(count)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def flops_by_category(self) -> Dict[str, int]:
+        return dict(self._flops)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(self._flops.values())
+
+    @property
+    def seconds_by_category(self) -> Dict[str, float]:
+        return dict(self._seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._seconds.values())
+
+    @property
+    def vertical_words_by_category(self) -> Dict[str, int]:
+        return dict(self._vertical_words)
+
+    @property
+    def total_vertical_words(self) -> int:
+        return sum(self._vertical_words.values())
+
+    @property
+    def horizontal_words(self) -> int:
+        return self._horizontal_words
+
+    @property
+    def messages(self) -> int:
+        return self._messages
+
+    def modeled_time(self, params: MachineParams) -> float:
+        """Total modeled seconds under ``params``."""
+        return self.breakdown(params).total
+
+    def breakdown(self, params: MachineParams) -> CostBreakdown:
+        """Per-category modeled seconds under ``params``."""
+        compute = {cat: flops * params.gamma for cat, flops in self._flops.items()}
+        vertical = {cat: words * params.nu for cat, words in self._vertical_words.items()}
+        return CostBreakdown(
+            compute_seconds=compute,
+            vertical_seconds=vertical,
+            horizontal_seconds=self._horizontal_words * params.beta,
+            latency_seconds=self._messages * params.alpha,
+        )
+
+    # -- manipulation -------------------------------------------------------
+    def reset(self) -> None:
+        self._flops.clear()
+        self._vertical_words.clear()
+        self._seconds.clear()
+        self._horizontal_words = 0
+        self._messages = 0
+
+    def snapshot(self) -> "CostTracker":
+        """Return an independent copy of the current counters."""
+        copy = CostTracker()
+        copy._flops = defaultdict(int, self._flops)
+        copy._vertical_words = defaultdict(int, self._vertical_words)
+        copy._seconds = defaultdict(float, self._seconds)
+        copy._horizontal_words = self._horizontal_words
+        copy._messages = self._messages
+        return copy
+
+    def diff_since(self, earlier: "CostTracker") -> "CostTracker":
+        """Counters accumulated since ``earlier`` (a previous :meth:`snapshot`)."""
+        delta = CostTracker()
+        for cat, val in self._flops.items():
+            d = val - earlier._flops.get(cat, 0)
+            if d:
+                delta._flops[cat] = d
+        for cat, val in self._vertical_words.items():
+            d = val - earlier._vertical_words.get(cat, 0)
+            if d:
+                delta._vertical_words[cat] = d
+        for cat, val in self._seconds.items():
+            d = val - earlier._seconds.get(cat, 0.0)
+            if d > 0:
+                delta._seconds[cat] = d
+        delta._horizontal_words = self._horizontal_words - earlier._horizontal_words
+        delta._messages = self._messages - earlier._messages
+        return delta
+
+    def merge(self, other: "CostTracker") -> None:
+        """Add all counters of ``other`` into this tracker."""
+        for cat, val in other._flops.items():
+            self._flops[cat] += val
+        for cat, val in other._vertical_words.items():
+            self._vertical_words[cat] += val
+        for cat, val in other._seconds.items():
+            self._seconds[cat] += val
+        self._horizontal_words += other._horizontal_words
+        self._messages += other._messages
+
+    @staticmethod
+    def max_over(trackers: Iterable["CostTracker"]) -> "CostTracker":
+        """Category-wise maximum over a set of per-rank trackers.
+
+        In a BSP superstep the slowest processor determines the elapsed time,
+        so per-sweep modeled times of the parallel algorithms take the
+        per-category maximum over ranks.
+        """
+        trackers = list(trackers)
+        if not trackers:
+            return CostTracker()
+        out = CostTracker()
+        categories = set()
+        for t in trackers:
+            categories.update(t._flops)
+            categories.update(t._vertical_words)
+            categories.update(t._seconds)
+        for cat in categories:
+            out._flops[cat] = max(t._flops.get(cat, 0) for t in trackers)
+            vmax = max(t._vertical_words.get(cat, 0) for t in trackers)
+            if vmax:
+                out._vertical_words[cat] = vmax
+            smax = max(t._seconds.get(cat, 0.0) for t in trackers)
+            if smax:
+                out._seconds[cat] = smax
+        out._horizontal_words = max(t._horizontal_words for t in trackers)
+        out._messages = max(t._messages for t in trackers)
+        return out
+
+    def as_dict(self) -> Mapping[str, object]:
+        """Plain-dict summary (used by reports and benchmarks)."""
+        return {
+            "flops": dict(self._flops),
+            "vertical_words": dict(self._vertical_words),
+            "seconds": dict(self._seconds),
+            "horizontal_words": self._horizontal_words,
+            "messages": self._messages,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostTracker(flops={self.total_flops}, hwords={self._horizontal_words}, "
+            f"vwords={self.total_vertical_words}, msgs={self._messages})"
+        )

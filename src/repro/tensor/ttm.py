@@ -1,0 +1,114 @@
+"""Tensor-times-matrix (TTM) kernels.
+
+Two flavours are provided:
+
+* :func:`ttm` — the textbook mode-``n`` product ``T x_n A`` whose output keeps
+  the contracted mode in place with the new dimension (rows of ``A``).
+* :func:`first_contraction` — the "first-level contraction" used by dimension
+  trees (Section II-C of the paper): contracting mode ``n`` of the input
+  tensor with a factor matrix ``A^(n)`` of shape ``(s_n, R)`` *removes* that
+  mode and appends a trailing rank axis, producing the partially contracted
+  MTTKRP intermediate ``M^({1..N} \\ {n})`` of Eq. (4).
+
+Both record ``2 * prod(shape) * R`` flops (one multiply + one add per term)
+into the tracker under the ``"ttm"`` category, which is how the TTM bar of the
+paper's Figure 3c-f breakdown is measured.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_mode
+
+__all__ = ["ttm", "multi_ttm", "first_contraction"]
+
+
+def _record(tracker, category: str, flops: int, words: int = 0, seconds: float = 0.0) -> None:
+    if tracker is not None:
+        tracker.add_flops(category, flops)
+        if words:
+            tracker.add_vertical_words(words)
+        if seconds:
+            tracker.add_seconds(category, seconds)
+
+
+def ttm(
+    tensor: np.ndarray,
+    matrix: np.ndarray,
+    mode: int,
+    transpose: bool = False,
+    tracker=None,
+    category: str = "ttm",
+) -> np.ndarray:
+    """Mode-``mode`` tensor-times-matrix product ``T x_mode M``.
+
+    ``matrix`` has shape ``(J, s_mode)`` (or ``(s_mode, J)`` with
+    ``transpose=True``); the result replaces dimension ``s_mode`` with ``J``.
+    """
+    tensor = np.asarray(tensor)
+    matrix = np.asarray(matrix)
+    mode = check_mode(mode, tensor.ndim)
+    mat = matrix.T if transpose else matrix
+    if mat.shape[1] != tensor.shape[mode]:
+        raise ValueError(
+            f"matrix with {mat.shape[1]} columns cannot contract mode {mode} of size {tensor.shape[mode]}"
+        )
+    start = time.perf_counter()
+    out = np.moveaxis(np.tensordot(mat, tensor, axes=(1, mode)), 0, mode)
+    elapsed = time.perf_counter() - start
+    _record(tracker, category, 2 * tensor.size * mat.shape[0], tensor.size + out.size, elapsed)
+    return out
+
+
+def multi_ttm(
+    tensor: np.ndarray,
+    matrices: Sequence[np.ndarray],
+    modes: Sequence[int],
+    transpose: bool = False,
+    tracker=None,
+    category: str = "ttm",
+) -> np.ndarray:
+    """Apply :func:`ttm` along several modes in sequence."""
+    if len(matrices) != len(modes):
+        raise ValueError("multi_ttm requires one matrix per mode")
+    out = np.asarray(tensor)
+    for matrix, mode in zip(matrices, modes):
+        out = ttm(out, matrix, mode, transpose=transpose, tracker=tracker, category=category)
+    return out
+
+
+def first_contraction(
+    tensor: np.ndarray,
+    factor: np.ndarray,
+    mode: int,
+    tracker=None,
+    category: str = "ttm",
+) -> np.ndarray:
+    """Contract mode ``mode`` of ``tensor`` with factor matrix ``factor``.
+
+    ``factor`` has shape ``(s_mode, R)``.  The result is the partially
+    contracted MTTKRP intermediate with the contracted mode removed and a
+    trailing rank axis appended:
+
+    ``out[i_0, ..., i_{mode-1}, i_{mode+1}, ..., i_{N-1}, r]
+    = sum_j tensor[..., j, ...] * factor[j, r]``.
+
+    This is the expensive first-level kernel of every dimension tree
+    (cost ``2 s^N R`` for an equidimensional tensor).
+    """
+    tensor = np.asarray(tensor)
+    factor = np.asarray(factor)
+    mode = check_mode(mode, tensor.ndim)
+    if factor.ndim != 2 or factor.shape[0] != tensor.shape[mode]:
+        raise ValueError(
+            f"factor shape {factor.shape} cannot contract mode {mode} of size {tensor.shape[mode]}"
+        )
+    start = time.perf_counter()
+    out = np.tensordot(tensor, factor, axes=(mode, 0))
+    elapsed = time.perf_counter() - start
+    _record(tracker, category, 2 * tensor.size * factor.shape[1], tensor.size + out.size, elapsed)
+    return out

@@ -1,0 +1,112 @@
+"""Tensor-times-vector (TTV) and batched multi-TTV kernels.
+
+The batched multi-TTV (``mTTV`` in the paper) is the workhorse of dimension
+trees below the first level: a partially contracted MTTKRP intermediate
+``M^(S)`` carries a trailing rank axis, and contracting one more mode ``j`` of
+it against factor ``A^(j)`` pairs column ``r`` of the factor with slice ``r``
+of the intermediate — i.e. ``R`` independent TTVs batched together.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_mode
+
+__all__ = ["ttv", "multi_ttv", "contract_intermediate_mode"]
+
+
+def _record(tracker, category: str, flops: int, words: int = 0, seconds: float = 0.0) -> None:
+    if tracker is not None:
+        tracker.add_flops(category, flops)
+        if words:
+            tracker.add_vertical_words(words)
+        if seconds:
+            tracker.add_seconds(category, seconds)
+
+
+def ttv(
+    tensor: np.ndarray,
+    vector: np.ndarray,
+    mode: int,
+    tracker=None,
+    category: str = "mttv",
+) -> np.ndarray:
+    """Contract mode ``mode`` of ``tensor`` with ``vector`` (removing the mode)."""
+    tensor = np.asarray(tensor)
+    vector = np.asarray(vector)
+    mode = check_mode(mode, tensor.ndim)
+    if vector.ndim != 1 or vector.shape[0] != tensor.shape[mode]:
+        raise ValueError(
+            f"vector of length {vector.shape} cannot contract mode {mode} of size {tensor.shape[mode]}"
+        )
+    start = time.perf_counter()
+    out = np.tensordot(tensor, vector, axes=(mode, 0))
+    elapsed = time.perf_counter() - start
+    _record(tracker, category, 2 * tensor.size, tensor.size + out.size, elapsed)
+    return out
+
+
+def multi_ttv(
+    tensor: np.ndarray,
+    vectors: Sequence[np.ndarray],
+    modes: Sequence[int],
+    tracker=None,
+    category: str = "mttv",
+) -> np.ndarray:
+    """Contract several modes with vectors, highest mode first so indices stay valid."""
+    if len(vectors) != len(modes):
+        raise ValueError("multi_ttv requires one vector per mode")
+    order = np.asarray(tensor).ndim
+    normalized = [check_mode(m, order) for m in modes]
+    if len(set(normalized)) != len(normalized):
+        raise ValueError("multi_ttv modes must be distinct")
+    pairs = sorted(zip(normalized, vectors), key=lambda p: -p[0])
+    out = np.asarray(tensor)
+    for mode, vec in pairs:
+        out = ttv(out, vec, mode, tracker=tracker, category=category)
+    return out
+
+
+def contract_intermediate_mode(
+    intermediate: np.ndarray,
+    factor: np.ndarray,
+    axis: int,
+    tracker=None,
+    category: str = "mttv",
+) -> np.ndarray:
+    """Batched multi-TTV step on a rank-carrying intermediate.
+
+    ``intermediate`` has shape ``(d_0, ..., d_{k-1}, R)`` with the trailing
+    axis indexing the CP rank.  Contracting tensor axis ``axis`` (one of the
+    leading ``k`` axes, of size ``s_j``) with factor ``A^(j)`` of shape
+    ``(s_j, R)`` computes
+
+    ``out[..., r] = sum_y intermediate[..., y, ..., r] * factor[y, r]``
+
+    i.e. the mTTV kernel of the paper.  Cost: ``2 * intermediate.size`` flops.
+    """
+    intermediate = np.asarray(intermediate)
+    factor = np.asarray(factor)
+    if intermediate.ndim < 2:
+        raise ValueError("intermediate must carry at least one tensor mode plus the rank axis")
+    n_tensor_axes = intermediate.ndim - 1
+    if not 0 <= axis < n_tensor_axes:
+        raise ValueError(
+            f"axis {axis} out of range; intermediate has {n_tensor_axes} tensor axes"
+        )
+    rank = intermediate.shape[-1]
+    if factor.shape != (intermediate.shape[axis], rank):
+        raise ValueError(
+            f"factor shape {factor.shape} incompatible with intermediate axis {axis} "
+            f"(size {intermediate.shape[axis]}) and rank {rank}"
+        )
+    start = time.perf_counter()
+    moved = np.moveaxis(intermediate, axis, -2)
+    out = np.einsum("...yr,yr->...r", moved, factor)
+    elapsed = time.perf_counter() - start
+    _record(tracker, category, 2 * intermediate.size, intermediate.size + out.size, elapsed)
+    return out

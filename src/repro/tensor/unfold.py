@@ -1,0 +1,100 @@
+"""Matricization (unfolding) and refolding of dense tensors.
+
+Conventions
+-----------
+``unfold(T, n)`` returns the mode-``n`` matricization ``T_(n)`` of shape
+``(s_n, prod_{m != n} s_m)``.  The column ordering follows numpy's C (row
+major) order over the remaining modes in *increasing* mode order, i.e. the
+**last** remaining mode varies fastest.  :func:`repro.tensor.products.khatri_rao`
+uses the matching convention, so for a CP tensor
+
+``unfold(full, n) == factors[n] @ khatri_rao(factors except n).T``
+
+holds exactly.  The generalized unfolding ``T^(i1,...,im)`` of the paper
+(Section II-A) keeps modes ``i1 < ... < im`` as leading tensor modes and
+flattens the remaining modes into a trailing axis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_mode
+
+__all__ = ["unfold", "fold", "generalized_unfolding", "refold_generalized"]
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Return the mode-``mode`` matricization of ``tensor``.
+
+    Parameters
+    ----------
+    tensor:
+        Dense ndarray of order ``N >= 1``.
+    mode:
+        Mode to bring to the rows (negative indices allowed).
+
+    Returns
+    -------
+    ndarray of shape ``(tensor.shape[mode], tensor.size // tensor.shape[mode])``.
+    """
+    tensor = np.asarray(tensor)
+    mode = check_mode(mode, tensor.ndim)
+    return np.moveaxis(tensor, mode, 0).reshape(tensor.shape[mode], -1)
+
+
+def fold(matrix: np.ndarray, mode: int, shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`unfold`: rebuild the order-``len(shape)`` tensor.
+
+    ``fold(unfold(T, n), n, T.shape)`` returns an array equal to ``T``.
+    """
+    shape = tuple(int(s) for s in shape)
+    mode = check_mode(mode, len(shape))
+    matrix = np.asarray(matrix)
+    expected = (shape[mode], int(np.prod(shape)) // shape[mode] if shape[mode] else 0)
+    if matrix.shape != expected:
+        raise ValueError(
+            f"matrix shape {matrix.shape} incompatible with fold target {shape} at mode {mode}"
+        )
+    moved_shape = (shape[mode],) + tuple(s for i, s in enumerate(shape) if i != mode)
+    return np.moveaxis(matrix.reshape(moved_shape), 0, mode)
+
+
+def generalized_unfolding(tensor: np.ndarray, keep_modes: Sequence[int]) -> np.ndarray:
+    """Return the generalized unfolding ``T^(i1,...,im)`` of the paper.
+
+    The returned array has order ``m + 1``: the first ``m`` axes are the kept
+    modes in increasing order, and the final axis flattens the remaining modes
+    (C order, increasing mode order).
+
+    >>> import numpy as np
+    >>> t = np.arange(24.0).reshape(2, 3, 4)
+    >>> generalized_unfolding(t, [0, 2]).shape
+    (2, 4, 3)
+    """
+    tensor = np.asarray(tensor)
+    order = tensor.ndim
+    keep = [check_mode(m, order) for m in keep_modes]
+    if len(set(keep)) != len(keep):
+        raise ValueError(f"keep_modes contains duplicates: {keep_modes}")
+    keep_sorted = sorted(keep)
+    rest = [m for m in range(order) if m not in keep_sorted]
+    permuted = np.transpose(tensor, keep_sorted + rest)
+    new_shape = tuple(tensor.shape[m] for m in keep_sorted) + (-1,)
+    return permuted.reshape(new_shape)
+
+
+def refold_generalized(
+    unfolded: np.ndarray, keep_modes: Sequence[int], shape: Sequence[int]
+) -> np.ndarray:
+    """Inverse of :func:`generalized_unfolding` for a known original ``shape``."""
+    shape = tuple(int(s) for s in shape)
+    order = len(shape)
+    keep = sorted(check_mode(m, order) for m in keep_modes)
+    rest = [m for m in range(order) if m not in keep]
+    interim_shape = tuple(shape[m] for m in keep) + tuple(shape[m] for m in rest)
+    interim = np.asarray(unfolded).reshape(interim_shape)
+    inverse_perm = np.argsort(keep + rest)
+    return np.transpose(interim, inverse_perm)

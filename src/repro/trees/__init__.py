@@ -1,0 +1,42 @@
+"""MTTKRP engines: naive, dimension tree, multi-sweep dimension tree, PP operators.
+
+All amortizing engines are policies over a shared *versioned contraction
+cache* (:mod:`repro.trees.cache`): a partially contracted intermediate
+``M^(S)`` (Eq. 4 of the paper) is reusable exactly as long as none of the
+factor matrices contracted into it has been updated.  The engines differ only
+in which contraction paths they choose:
+
+* :class:`repro.trees.dimension_tree.DimensionTreeMTTKRP` — the standard
+  per-sweep binary dimension tree (Fig. 1a), two first-level TTMs per sweep,
+  leading cost ``4 s^N R``;
+* :class:`repro.trees.msdt.MultiSweepDimensionTree` — the paper's MSDT
+  (Fig. 2): first-level TTMs contract the most recently updated factor so each
+  root intermediate stays valid for ``N-1`` consecutive mode updates, leading
+  cost ``2 N/(N-1) s^N R`` per sweep with *exactly* the same ALS iterates;
+* :class:`repro.trees.pp_operators.PairwiseOperators` — the PP dimension tree
+  (Fig. 1b) building all pairwise operators ``M_p^(i,j)`` and first-order
+  MTTKRPs ``M_p^(n)`` at a checkpoint of the factors;
+* :class:`repro.trees.naive.NaiveMTTKRP` — recompute-from-scratch reference
+  (cost ``2 N s^N R`` per sweep), the correctness oracle.
+"""
+
+from repro.trees.base import MTTKRPProvider
+from repro.trees.cache import ContractionCache, CacheEntry
+from repro.trees.naive import NaiveMTTKRP, UnfoldingMTTKRP
+from repro.trees.dimension_tree import DimensionTreeMTTKRP
+from repro.trees.msdt import MultiSweepDimensionTree
+from repro.trees.pp_operators import PairwiseOperators
+from repro.trees.registry import make_provider, available_providers
+
+__all__ = [
+    "MTTKRPProvider",
+    "ContractionCache",
+    "CacheEntry",
+    "NaiveMTTKRP",
+    "UnfoldingMTTKRP",
+    "DimensionTreeMTTKRP",
+    "MultiSweepDimensionTree",
+    "PairwiseOperators",
+    "make_provider",
+    "available_providers",
+]

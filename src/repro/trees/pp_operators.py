@@ -1,0 +1,163 @@
+"""Pairwise-perturbation operators (PP dimension tree, Fig. 1b).
+
+The PP initialization step (Algorithm 2, line 9) computes, at a checkpoint
+``A_p`` of the factor matrices,
+
+* the pairwise operators ``M_p^(i,j)`` for every ``i < j`` — partially
+  contracted MTTKRPs keeping two modes (Eq. 4), and
+* the first-order MTTKRPs ``M_p^(n)`` for every mode,
+
+and the PP approximated step reuses them for many cheap sweeps.  The builder
+below walks the same versioned contraction cache as the dimension-tree
+engines, contracting non-target modes in ascending order, which reproduces the
+sharing pattern of the paper's PP tree (``binom(l+1, 2)`` intermediates per
+level; three first-level TTMs for ``N = 4``, one of which can be amortized
+from the preceding regular sweep when the caller passes its engine's cache).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.trees.base import MTTKRPProvider
+from repro.trees.cache import ContractionCache
+from repro.trees.descent import ascending_order, descend
+from repro.utils.validation import check_factor_matrices
+
+__all__ = ["PairwiseOperators"]
+
+
+class PairwiseOperators:
+    """Container for the PP operators built at a factor checkpoint ``A_p``."""
+
+    def __init__(
+        self,
+        checkpoint_factors: Sequence[np.ndarray],
+        pair_ops: Mapping[tuple[int, int], np.ndarray],
+        single_ops: Mapping[int, np.ndarray],
+    ):
+        self.checkpoint_factors = [np.asarray(f, dtype=np.float64) for f in checkpoint_factors]
+        self.order = len(self.checkpoint_factors)
+        self._pairs = dict(pair_ops)
+        self._singles = dict(single_ops)
+        for (i, j), arr in self._pairs.items():
+            if not 0 <= i < j < self.order:
+                raise ValueError(f"invalid pair key {(i, j)}")
+            expected = (
+                self.checkpoint_factors[i].shape[0],
+                self.checkpoint_factors[j].shape[0],
+                self.rank,
+            )
+            if arr.shape != expected:
+                raise ValueError(
+                    f"pair operator {(i, j)} has shape {arr.shape}, expected {expected}"
+                )
+        for n, arr in self._singles.items():
+            expected = (self.checkpoint_factors[n].shape[0], self.rank)
+            if arr.shape != expected:
+                raise ValueError(
+                    f"single operator {n} has shape {arr.shape}, expected {expected}"
+                )
+
+    # -- properties ---------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.checkpoint_factors[0].shape[1]
+
+    def single(self, mode: int) -> np.ndarray:
+        """``M_p^(mode)`` — the MTTKRP at the checkpoint factors."""
+        return self._singles[mode]
+
+    def pair_operator(self, mode: int, other: int) -> np.ndarray:
+        """``M_p^(mode, other)`` oriented with ``mode`` first: shape ``(s_mode, s_other, R)``."""
+        if mode == other:
+            raise ValueError("pair operator requires two distinct modes")
+        if mode < other:
+            return self._pairs[(mode, other)]
+        return np.transpose(self._pairs[(other, mode)], (1, 0, 2))
+
+    def pairs(self) -> dict[tuple[int, int], np.ndarray]:
+        return dict(self._pairs)
+
+    def memory_words(self) -> int:
+        """Total auxiliary memory (in 8-byte words) held by the operators."""
+        total = sum(arr.size for arr in self._pairs.values())
+        total += sum(arr.size for arr in self._singles.values())
+        return int(total)
+
+    # -- construction ----------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        tensor: np.ndarray,
+        factors: Sequence[np.ndarray],
+        tracker=None,
+        provider: MTTKRPProvider | None = None,
+        max_cache_bytes: int | None = None,
+    ) -> "PairwiseOperators":
+        """Build all PP operators at the current ``factors`` (the checkpoint ``A_p``).
+
+        When ``provider`` is given, its contraction cache and factor versions
+        are reused, so first-level intermediates left over from the preceding
+        regular (DT/MSDT) sweep are amortized exactly as footnote 1 of the
+        paper describes.  The provider's factors must already equal
+        ``factors`` (the checkpoint is taken at the current iterate).
+        """
+        tensor = np.asarray(tensor, dtype=np.float64)
+        order = tensor.ndim
+        factors = check_factor_matrices(factors, shape=tensor.shape)
+        if order < 3:
+            raise ValueError("pairwise perturbation requires tensors of order >= 3")
+
+        if provider is not None:
+            if provider.tensor is not tensor and provider.tensor.shape != tensor.shape:
+                raise ValueError("provider is bound to a different tensor")
+            for a, b in zip(provider.factors, factors):
+                if a.shape != b.shape or not np.array_equal(a, b):
+                    raise ValueError(
+                        "provider factors must equal the checkpoint factors when "
+                        "sharing its cache"
+                    )
+            cache = provider.cache
+            versions: Sequence[int] = provider.versions
+            work_factors = provider.factors
+        else:
+            cache = ContractionCache(max_bytes=max_cache_bytes)
+            versions = [0] * order
+            work_factors = factors
+
+        def _compute(targets: set[int]) -> np.ndarray:
+            start = cache.find_valid(versions, targets)
+            if start is None:
+                start_modes: list[int] = list(range(order))
+                start_array = None
+                base_versions: dict[int, int] = {}
+            else:
+                start_modes = sorted(start.modes)
+                start_array = start.array
+                base_versions = start.versions_used
+            order_list = ascending_order(start_modes, targets)
+            return descend(
+                tensor,
+                work_factors,
+                versions,
+                cache,
+                start_modes,
+                start_array,
+                base_versions,
+                order_list,
+                tracker=tracker,
+            )
+
+        pair_ops: dict[tuple[int, int], np.ndarray] = {}
+        for i in range(order):
+            for j in range(i + 1, order):
+                pair_ops[(i, j)] = _compute({i, j})
+        single_ops: dict[int, np.ndarray] = {}
+        for n in range(order):
+            single_ops[n] = _compute({n})
+
+        checkpoint = [f.copy() for f in factors]
+        return cls(checkpoint, pair_ops, single_ops)

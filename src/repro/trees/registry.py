@@ -1,0 +1,48 @@
+"""Name-based construction of MTTKRP engines."""
+
+from __future__ import annotations
+
+from typing import Sequence, Type
+
+import numpy as np
+
+from repro.trees.base import MTTKRPProvider
+from repro.trees.dimension_tree import DimensionTreeMTTKRP
+from repro.trees.msdt import MultiSweepDimensionTree
+from repro.trees.naive import NaiveMTTKRP, UnfoldingMTTKRP
+
+__all__ = ["make_provider", "available_providers", "PROVIDERS"]
+
+PROVIDERS: dict[str, Type[MTTKRPProvider]] = {
+    "naive": NaiveMTTKRP,
+    "unfolding": UnfoldingMTTKRP,
+    "dt": DimensionTreeMTTKRP,
+    "dimension_tree": DimensionTreeMTTKRP,
+    "msdt": MultiSweepDimensionTree,
+    "multi_sweep": MultiSweepDimensionTree,
+}
+
+
+def available_providers() -> list[str]:
+    """Canonical engine names accepted by :func:`make_provider`."""
+    return ["naive", "unfolding", "dt", "msdt"]
+
+
+def make_provider(
+    name: str,
+    tensor: np.ndarray,
+    factors: Sequence[np.ndarray],
+    tracker=None,
+    max_cache_bytes: int | None = None,
+) -> MTTKRPProvider:
+    """Construct the MTTKRP engine ``name`` for ``tensor`` and ``factors``.
+
+    Accepted names: ``"naive"``, ``"unfolding"``, ``"dt"`` (alias
+    ``"dimension_tree"``) and ``"msdt"`` (alias ``"multi_sweep"``).
+    """
+    key = name.lower().strip()
+    if key not in PROVIDERS:
+        raise ValueError(
+            f"unknown MTTKRP engine {name!r}; available: {available_providers()}"
+        )
+    return PROVIDERS[key](tensor, factors, tracker=tracker, max_cache_bytes=max_cache_bytes)

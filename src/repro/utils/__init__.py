@@ -1,0 +1,22 @@
+"""Small shared utilities: argument validation, RNG handling, timers."""
+
+from repro.utils.validation import (
+    check_dense_tensor,
+    check_factor_matrices,
+    check_positive_int,
+    check_probability,
+    check_rank,
+)
+from repro.utils.random import as_rng
+from repro.utils.timing import Timer, CategoryTimer
+
+__all__ = [
+    "check_dense_tensor",
+    "check_factor_matrices",
+    "check_positive_int",
+    "check_probability",
+    "check_rank",
+    "as_rng",
+    "Timer",
+    "CategoryTimer",
+]

@@ -1,0 +1,23 @@
+"""Random-number-generator plumbing.
+
+Every stochastic routine in the package takes a ``seed`` argument that may be
+``None`` (fresh entropy), an integer, or an already-constructed
+``numpy.random.Generator``; :func:`as_rng` normalises all three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng"]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Passing an existing generator returns it unchanged so callers can thread a
+    single stream through nested routines.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,77 @@
+"""Lightweight wall-clock timers used by the sweep monitors and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["Timer", "CategoryTimer"]
+
+
+class Timer:
+    """A simple cumulative wall-clock timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+
+class CategoryTimer:
+    """Accumulates wall-clock time per named category.
+
+    Used by the ALS sweep monitors to produce the TTM / mTTV / hadamard /
+    solve / others breakdown of Figure 3c-f.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+
+    @contextmanager
+    def time(self, category: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._totals[category] += time.perf_counter() - start
+
+    def add(self, category: str, seconds: float) -> None:
+        self._totals[category] += seconds
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def total(self) -> float:
+        return sum(self._totals.values())
+
+    def reset(self) -> None:
+        self._totals.clear()
+
+    def merged_with(self, other: "CategoryTimer") -> "CategoryTimer":
+        merged = CategoryTimer()
+        for src in (self, other):
+            for key, val in src.totals.items():
+                merged.add(key, val)
+        return merged

@@ -1,0 +1,123 @@
+"""Tests for the Table I cost formulas."""
+
+import pytest
+
+from repro.costs.mttkrp_costs import (
+    TABLE1_METHODS,
+    dt_costs,
+    msdt_costs,
+    mttkrp_costs_for,
+    pp_approx_costs,
+    pp_approx_ref_costs,
+    pp_init_costs,
+    pp_init_ref_costs,
+)
+from repro.machine.params import MachineParams
+
+
+class TestSequentialFlops:
+    def test_dt_leading_term(self):
+        assert dt_costs(100, 3, 10).sequential_flops == 4 * 100**3 * 10
+
+    @pytest.mark.parametrize("order,expected_factor", [(3, 3.0), (4, 8.0 / 3.0), (5, 2.5)])
+    def test_msdt_leading_term(self, order, expected_factor):
+        costs = msdt_costs(10, order, 2)
+        assert costs.sequential_flops == pytest.approx(expected_factor * 10**order * 2)
+
+    def test_msdt_cheaper_than_dt_by_paper_ratio(self):
+        for order in (3, 4, 5):
+            dt = dt_costs(50, order, 8).sequential_flops
+            msdt = msdt_costs(50, order, 8).sequential_flops
+            assert msdt / dt == pytest.approx(order / (2 * (order - 1)))
+
+    def test_pp_init_equals_dt_flops(self):
+        assert pp_init_costs(64, 4, 16).sequential_flops == dt_costs(64, 4, 16).sequential_flops
+
+    def test_pp_approx_flops(self):
+        costs = pp_approx_costs(100, 3, 10)
+        assert costs.sequential_flops == 2 * 9 * (100**2 * 10 + 100)
+
+    def test_pp_approx_asymptotically_cheaper_than_dt(self):
+        assert pp_approx_costs(400, 3, 50).sequential_flops < dt_costs(400, 3, 50).sequential_flops
+
+
+class TestLocalCostsAndMemory:
+    def test_local_flops_scale_inversely_with_p(self):
+        single = dt_costs(64, 3, 8, 1)
+        many = dt_costs(64, 3, 8, 64)
+        assert many.local_flops == pytest.approx(single.local_flops / 64)
+
+    def test_dt_auxiliary_memory(self):
+        costs = dt_costs(64, 3, 8, 8)
+        assert costs.auxiliary_memory_words == pytest.approx((64**3 / 8) ** 0.5 * 8)
+
+    def test_msdt_needs_more_auxiliary_memory_than_dt(self):
+        assert (msdt_costs(64, 4, 8, 16).auxiliary_memory_words
+                > dt_costs(64, 4, 8, 16).auxiliary_memory_words)
+
+    def test_pp_approx_local_flops_use_p_two_over_n(self):
+        costs = pp_approx_costs(64, 4, 8, 16)
+        expected = 2 * 16 * (64**2 * 8 / 16 ** 0.5 + 8**2 / 16)
+        assert costs.local_flops == pytest.approx(expected)
+
+
+class TestCommunication:
+    def test_our_pp_init_has_no_horizontal_communication(self):
+        costs = pp_init_costs(64, 3, 8, 64)
+        assert costs.horizontal_words == 0
+        assert costs.horizontal_messages == 0
+
+    def test_reference_pp_init_communicates_heavily(self):
+        ours = pp_init_costs(64, 3, 8, 64)
+        reference = pp_init_ref_costs(64, 3, 8, 64)
+        assert reference.horizontal_words > ours.horizontal_words
+
+    def test_reference_pp_init_high_vs_low_rank_variants(self):
+        low = pp_init_ref_costs(64, 3, 4, 64, high_rank=False)
+        high = pp_init_ref_costs(64, 3, 4, 64, high_rank=True)
+        default = pp_init_ref_costs(64, 3, 4, 64)
+        assert default.horizontal_words == max(low.horizontal_words, high.horizontal_words)
+
+    def test_reference_pp_approx_redistribution_toggle(self):
+        with_redist = pp_approx_ref_costs(64, 3, 8, 16, include_redistribution=True)
+        without = pp_approx_ref_costs(64, 3, 8, 16, include_redistribution=False)
+        assert with_redist.horizontal_words > without.horizontal_words
+
+    def test_dt_and_msdt_share_horizontal_costs(self):
+        dt = dt_costs(64, 3, 8, 64)
+        msdt = msdt_costs(64, 3, 8, 64)
+        assert dt.horizontal_words == msdt.horizontal_words
+        assert dt.horizontal_messages == msdt.horizontal_messages
+
+    def test_single_processor_has_no_messages(self):
+        for method in TABLE1_METHODS:
+            costs = mttkrp_costs_for(method, 32, 3, 4, 1)
+            assert costs.horizontal_messages == 0
+
+
+class TestModeledTimeAndDispatch:
+    def test_modeled_time_positive_and_orders_correctly(self):
+        params = MachineParams.knl_like()
+        dt = dt_costs(3200, 3, 400, 512).modeled_time(params)
+        msdt = msdt_costs(3200, 3, 400, 512).modeled_time(params)
+        approx = pp_approx_costs(3200, 3, 400, 512).modeled_time(params)
+        assert 0 < approx < msdt < dt
+
+    def test_dispatch_matches_direct_calls(self):
+        direct = dt_costs(100, 3, 10, 8)
+        dispatched = mttkrp_costs_for("dt", 100, 3, 10, 8)
+        assert direct == dispatched
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            mttkrp_costs_for("turbo", 10, 3, 2, 1)
+
+    @pytest.mark.parametrize("bad", [(-1, 3, 2, 1), (10, 1, 2, 1), (10, 3, 0, 1), (10, 3, 2, 0)])
+    def test_invalid_arguments_raise(self, bad):
+        with pytest.raises(ValueError):
+            dt_costs(*bad)
+
+    def test_asdict_keys(self):
+        data = dt_costs(10, 3, 2).asdict()
+        assert {"method", "sequential_flops", "local_flops", "auxiliary_memory_words",
+                "horizontal_messages", "horizontal_words", "vertical_words"} <= set(data)

@@ -1,0 +1,88 @@
+"""Tests for the composed per-sweep time model (Figure 3 at paper scale)."""
+
+import pytest
+
+from repro.costs.sweep_model import MODELED_METHODS, sweep_time_model
+from repro.machine.params import MachineParams
+
+
+class TestPaperShapes:
+    """The modeled per-sweep times must reproduce the paper's qualitative findings."""
+
+    @pytest.fixture(scope="class")
+    def params(self):
+        return MachineParams.knl_like()
+
+    def test_order3_ranking_at_large_grid(self, params):
+        times = {m: sweep_time_model(m, 400, 3, 400, 512, params).total_seconds
+                 for m in MODELED_METHODS}
+        # PP approximated step fastest, MSDT beats DT, PP-init ~ DT, PLANC ~ DT
+        assert times["pp-approx"] < times["msdt"] < times["dt"]
+        assert times["pp-init"] == pytest.approx(times["dt"], rel=0.15)
+        assert times["planc"] == pytest.approx(times["dt"], rel=0.15)
+
+    def test_order3_msdt_speedup_close_to_paper(self, params):
+        dt = sweep_time_model("dt", 400, 3, 400, 512, params).total_seconds
+        msdt = sweep_time_model("msdt", 400, 3, 400, 512, params).total_seconds
+        speedup = dt / msdt
+        # paper: 1.25x measured; flop ratio alone would be 1.5x
+        assert 1.1 < speedup < 1.6
+
+    def test_order3_pp_approx_speedup_close_to_paper(self, params):
+        dt = sweep_time_model("dt", 400, 3, 400, 512, params).total_seconds
+        approx = sweep_time_model("pp-approx", 400, 3, 400, 512, params).total_seconds
+        speedup = dt / approx
+        # paper: 1.94x measured
+        assert 1.5 < speedup < 3.5
+
+    def test_order4_pp_init_slower_than_dt(self, params):
+        """Fig. 3b: PP-init pays for tensor transposes at order 4."""
+        dt = sweep_time_model("dt", 75, 4, 200, 256, params).total_seconds
+        init = sweep_time_model("pp-init", 75, 4, 200, 256, params).total_seconds
+        assert init > dt
+
+    def test_order3_pp_init_not_slower_than_dt(self, params):
+        dt = sweep_time_model("dt", 400, 3, 400, 64, params).total_seconds
+        init = sweep_time_model("pp-init", 400, 3, 400, 64, params).total_seconds
+        assert init <= dt * 1.05
+
+    def test_order4_msdt_still_wins(self, params):
+        dt = sweep_time_model("dt", 75, 4, 200, 256, params).total_seconds
+        msdt = sweep_time_model("msdt", 75, 4, 200, 256, params).total_seconds
+        assert msdt < dt
+
+    def test_weak_scaling_is_roughly_flat_for_dt(self, params):
+        """With fixed local size the per-sweep compute is constant; only the
+        communication terms grow (slowly), as in Fig. 3a."""
+        small = sweep_time_model("dt", 400, 3, 400, 8, params).total_seconds
+        large = sweep_time_model("dt", 400, 3, 400, 512, params).total_seconds
+        assert large < 2.0 * small
+
+    def test_planc_solve_heavier_than_distributed(self, params):
+        planc = sweep_time_model("planc", 75, 4, 200, 256, params)
+        ours = sweep_time_model("dt", 75, 4, 200, 256, params)
+        assert planc.solve_seconds >= ours.solve_seconds
+
+
+class TestInterface:
+    def test_breakdown_categories_sum_to_total(self):
+        breakdown = sweep_time_model("dt", 50, 3, 20, 8)
+        assert breakdown.total_seconds == pytest.approx(sum(breakdown.category_seconds().values()))
+
+    def test_category_keys(self):
+        breakdown = sweep_time_model("msdt", 50, 3, 20, 8)
+        assert set(breakdown.category_seconds()) == {"ttm", "mttv", "hadamard",
+                                                     "solve", "others", "comm"}
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            sweep_time_model("warp", 50, 3, 20, 8)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            sweep_time_model("dt", -1, 3, 20, 8)
+        with pytest.raises(ValueError):
+            sweep_time_model("dt", 50, 1, 20, 8)
+
+    def test_default_params_used_when_omitted(self):
+        assert sweep_time_model("dt", 50, 3, 20, 8).total_seconds > 0

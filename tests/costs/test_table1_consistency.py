@@ -1,0 +1,51 @@
+"""Consistency between the analytic Table I formulas and measured engine flops."""
+
+import pytest
+
+from repro.costs.mttkrp_costs import dt_costs, msdt_costs, pp_approx_costs
+from repro.experiments.table1 import measured_mttkrp_flops_per_sweep
+
+
+class TestMeasuredVsAnalytic:
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        return measured_mttkrp_flops_per_sweep((12, 12, 12), rank=6, n_sweeps=4, seed=0)
+
+    def test_dt_within_lower_order_terms(self, measurements):
+        analytic = dt_costs(12, 3, 6).sequential_flops
+        assert measurements["dt"] >= analytic
+        assert measurements["dt"] <= 1.3 * analytic
+
+    def test_msdt_within_lower_order_terms(self, measurements):
+        analytic = msdt_costs(12, 3, 6).sequential_flops
+        assert measurements["msdt"] <= 1.3 * analytic
+        assert measurements["msdt"] >= 0.9 * analytic
+
+    def test_naive_costs_n_single_mttkrps(self, measurements):
+        assert measurements["naive"] == pytest.approx(2 * 3 * 12**3 * 6, rel=1e-6)
+
+    def test_msdt_to_dt_ratio_matches_paper(self, measurements):
+        ratio = measurements["dt"] / measurements["msdt"]
+        # paper: 2(N-1)/N = 4/3 at order 3 for the leading term
+        assert ratio == pytest.approx(4.0 / 3.0, rel=0.15)
+
+    def test_pp_approx_measured_flops_match_first_order_terms(self, measurements):
+        # N(N-1) first-order corrections of cost 2 s^2 R each
+        expected = 3 * 2 * 2 * 12 * 12 * 6
+        assert measurements["pp-approx"] == pytest.approx(expected, rel=1e-6)
+
+    def test_pp_approx_far_cheaper_than_dt(self, measurements):
+        # at this small test size (s = 12) the asymptotic gap (s^N R vs N s^2 R)
+        # is already a factor > 3; it widens with s
+        assert measurements["pp-approx"] < measurements["dt"] / 3.0
+
+    def test_pp_init_same_order_as_dt(self, measurements):
+        assert measurements["pp-init"] <= 2.0 * measurements["dt"]
+        assert measurements["pp-init"] >= 0.5 * measurements["dt"]
+
+    def test_analytic_pp_approx_matches_measured_scaling(self, measurements):
+        analytic = pp_approx_costs(12, 3, 6).sequential_flops
+        # the analytic row includes the R^2 terms; the measured count covers the
+        # dominant s^2 R part, so they must agree to leading order
+        assert measurements["pp-approx"] <= analytic
+        assert measurements["pp-approx"] >= 0.5 * analytic

@@ -1,0 +1,164 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.coil import coil_like_tensor
+from repro.data.collinearity import collinearity_factors, collinearity_tensor
+from repro.data.hyperspectral import hyperspectral_tensor
+from repro.data.lowrank import random_low_rank_tensor
+from repro.data.quantum_chemistry import density_fitting_tensor
+from repro.tensor.unfold import unfold
+
+
+class TestLowRank:
+    def test_exact_rank_is_achievable(self):
+        tensor = random_low_rank_tensor((8, 9, 10), rank=3, noise=0.0, seed=0)
+        # the mode-0 unfolding of an exact rank-3 CP tensor has matrix rank <= 3
+        singular_values = np.linalg.svd(unfold(tensor, 0), compute_uv=False)
+        assert singular_values[3] < 1e-8 * singular_values[0]
+
+    def test_noise_level_is_relative(self):
+        clean = random_low_rank_tensor((8, 8, 8), rank=2, noise=0.0, seed=1)
+        noisy = random_low_rank_tensor((8, 8, 8), rank=2, noise=0.1, seed=1)
+        ratio = np.linalg.norm(noisy - clean) / np.linalg.norm(clean)
+        assert ratio == pytest.approx(0.1, rel=1e-6)
+
+    def test_deterministic(self):
+        a = random_low_rank_tensor((5, 5), 2, seed=3)
+        b = random_low_rank_tensor((5, 5), 2, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_negative_noise_raises(self):
+        with pytest.raises(ValueError):
+            random_low_rank_tensor((5, 5), 2, noise=-0.1)
+
+
+class TestCollinearity:
+    @pytest.mark.parametrize("target", [0.1, 0.5, 0.9])
+    def test_factor_columns_have_requested_collinearity(self, target):
+        factor = collinearity_factors(30, 6, target, seed=0)
+        gram = factor.T @ factor
+        norms = np.sqrt(np.diag(gram))
+        cosines = gram / np.outer(norms, norms)
+        off_diagonal = cosines[~np.eye(6, dtype=bool)]
+        assert np.allclose(off_diagonal, target, atol=1e-6)
+
+    def test_columns_have_unit_norm(self):
+        factor = collinearity_factors(20, 4, 0.3, seed=1)
+        assert np.allclose(np.linalg.norm(factor, axis=0), 1.0, atol=1e-8)
+
+    def test_mode_smaller_than_rank_raises(self):
+        with pytest.raises(ValueError):
+            collinearity_factors(3, 5, 0.5)
+
+    def test_collinearity_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            collinearity_factors(10, 3, 1.5)
+
+    def test_tensor_has_bounded_cp_rank(self):
+        generated = collinearity_tensor((15, 15, 15), rank=4, collinearity_range=(0.4, 0.6), seed=2)
+        singular_values = np.linalg.svd(unfold(generated.tensor, 0), compute_uv=False)
+        assert singular_values[4] < 1e-8 * singular_values[0]
+
+    def test_drawn_collinearity_within_interval(self):
+        generated = collinearity_tensor((10, 10, 10), rank=3, collinearity_range=(0.6, 0.8), seed=5)
+        assert 0.6 <= generated.collinearity < 0.8
+
+    def test_degenerate_interval(self):
+        generated = collinearity_tensor((10, 10, 10), rank=3, collinearity_range=(0.5, 0.5), seed=5)
+        assert generated.collinearity == 0.5
+
+    def test_reversed_interval_raises(self):
+        with pytest.raises(ValueError):
+            collinearity_tensor((10, 10, 10), 3, collinearity_range=(0.8, 0.2))
+
+    def test_cp_property_round_trips(self):
+        generated = collinearity_tensor((8, 8, 8), rank=2, collinearity_range=(0.0, 0.1), seed=0)
+        assert np.allclose(generated.cp.full(), generated.tensor)
+
+
+class TestQuantumChemistry:
+    def test_shape_and_dtype(self):
+        tensor = density_fitting_tensor(40, 12, seed=0)
+        assert tensor.shape == (40, 12, 12)
+        assert tensor.dtype == np.float64
+
+    def test_symmetric_in_orbital_modes(self):
+        tensor = density_fitting_tensor(30, 10, seed=1)
+        assert np.allclose(tensor, np.transpose(tensor, (0, 2, 1)))
+
+    def test_overlap_decays_with_pair_distance(self):
+        tensor = density_fitting_tensor(20, 16, noise=0.0, seed=2)
+        magnitude = np.abs(tensor).sum(axis=0)
+        near = np.mean([magnitude[i, i + 1] for i in range(15)])
+        far = np.mean([magnitude[i, 15 - i] for i in range(4)])
+        assert near > far
+
+    def test_deterministic(self):
+        a = density_fitting_tensor(10, 6, seed=3)
+        b = density_fitting_tensor(10, 6, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            density_fitting_tensor(0, 5)
+        with pytest.raises(ValueError):
+            density_fitting_tensor(5, 5, chain_length=-1.0)
+
+
+class TestCoil:
+    def test_shape(self):
+        tensor = coil_like_tensor(10, 12, 3, n_objects=2, n_poses=5, seed=0)
+        assert tensor.shape == (10, 12, 3, 10)
+
+    def test_nonnegative(self):
+        tensor = coil_like_tensor(8, 8, 3, 2, 4, seed=1)
+        assert tensor.min() >= 0.0
+
+    def test_pose_smoothness(self):
+        """Consecutive poses of the same object differ less than different objects."""
+        tensor = coil_like_tensor(12, 12, 3, n_objects=2, n_poses=8, noise=0.0, seed=2)
+        same_object = np.linalg.norm(tensor[..., 0] - tensor[..., 1])
+        different_object = np.linalg.norm(tensor[..., 0] - tensor[..., 8])
+        assert same_object < different_object
+
+    def test_deterministic(self):
+        a = coil_like_tensor(6, 6, 2, 1, 3, seed=4)
+        b = coil_like_tensor(6, 6, 2, 1, 3, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            coil_like_tensor(0, 5, 3, 1, 1)
+        with pytest.raises(ValueError):
+            coil_like_tensor(5, 5, 3, 1, 1, noise=-1)
+
+
+class TestHyperspectral:
+    def test_shape(self):
+        tensor = hyperspectral_tensor(10, 12, 6, 4, seed=0)
+        assert tensor.shape == (10, 12, 6, 4)
+
+    def test_nonnegative(self):
+        assert hyperspectral_tensor(8, 8, 4, 3, seed=1).min() >= 0.0
+
+    def test_low_effective_rank(self):
+        """The mixing model bounds the multilinear rank by the material count."""
+        n_materials = 3
+        tensor = hyperspectral_tensor(12, 12, 8, 5, n_materials=n_materials,
+                                      noise=0.0, seed=2)
+        unfolded = unfold(tensor, 2)  # wavelength mode
+        singular_values = np.linalg.svd(unfolded, compute_uv=False)
+        assert singular_values[n_materials] < 1e-8 * singular_values[0]
+
+    def test_deterministic(self):
+        a = hyperspectral_tensor(6, 6, 4, 2, seed=3)
+        b = hyperspectral_tensor(6, 6, 4, 2, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            hyperspectral_tensor(0, 5, 3, 2)
+        with pytest.raises(ValueError):
+            hyperspectral_tensor(5, 5, 3, 2, noise=-0.5)

@@ -1,0 +1,73 @@
+"""Tests for the row-blocked distributed factor matrices."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.dist_factor import DistributedFactor
+from repro.grid.processor_grid import ProcessorGrid
+
+
+@pytest.fixture
+def grid() -> ProcessorGrid:
+    return ProcessorGrid((2, 3))
+
+
+class TestDistributedFactor:
+    def test_roundtrip_divisible(self, rng, grid):
+        matrix = rng.random((6, 4))
+        dist = DistributedFactor.from_global(matrix, mode=1, grid=grid)
+        assert dist.block_rows == 2
+        assert np.allclose(dist.to_global(), matrix)
+
+    def test_roundtrip_with_padding(self, rng, grid):
+        matrix = rng.random((5, 3))
+        dist = DistributedFactor.from_global(matrix, mode=0, grid=grid)
+        assert dist.block_rows == 3
+        assert np.allclose(dist.to_global(), matrix)
+        assert np.all(dist.block(1)[2:] == 0.0)
+
+    def test_gram_ignores_padding(self, rng, grid):
+        matrix = rng.random((5, 3))
+        dist = DistributedFactor.from_global(matrix, mode=0, grid=grid)
+        assert np.allclose(dist.gram(), matrix.T @ matrix)
+
+    def test_local_block_for_follows_grid_coordinate(self, rng, grid):
+        matrix = rng.random((6, 2))
+        dist = DistributedFactor.from_global(matrix, mode=1, grid=grid)
+        for rank in grid.ranks():
+            coord = grid.coordinate(rank)
+            assert np.array_equal(dist.local_block_for(rank), dist.block(coord[1]))
+
+    def test_set_block_replaces_rows(self, rng, grid):
+        matrix = rng.random((6, 2))
+        dist = DistributedFactor.from_global(matrix, mode=1, grid=grid)
+        new_block = np.ones((2, 2))
+        dist.set_block(0, new_block)
+        assert np.allclose(dist.to_global()[:2], 1.0)
+
+    def test_set_block_shape_mismatch_raises(self, rng, grid):
+        dist = DistributedFactor.from_global(rng.random((6, 2)), mode=1, grid=grid)
+        with pytest.raises(ValueError):
+            dist.set_block(0, np.ones((3, 2)))
+
+    def test_padded_global_shape(self, rng, grid):
+        dist = DistributedFactor.from_global(rng.random((5, 2)), mode=0, grid=grid)
+        assert dist.padded_global().shape == (6, 2)
+
+    def test_copy_is_independent(self, rng, grid):
+        dist = DistributedFactor.from_global(rng.random((6, 2)), mode=1, grid=grid)
+        duplicate = dist.copy()
+        duplicate.set_block(0, np.zeros((2, 2)))
+        assert not np.allclose(dist.block(0), 0.0)
+
+    def test_bad_mode_raises(self, rng, grid):
+        with pytest.raises(ValueError):
+            DistributedFactor.from_global(rng.random((6, 2)), mode=5, grid=grid)
+
+    def test_wrong_block_count_raises(self, rng, grid):
+        with pytest.raises(ValueError):
+            DistributedFactor(1, 6, 2, grid, [np.zeros((2, 2))])
+
+    def test_non_matrix_raises(self, rng, grid):
+        with pytest.raises(ValueError):
+            DistributedFactor.from_global(rng.random(6), mode=0, grid=grid)

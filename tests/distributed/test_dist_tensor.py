@@ -1,0 +1,70 @@
+"""Tests for the block-distributed dense tensor."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.dist_tensor import DistributedTensor
+from repro.grid.processor_grid import ProcessorGrid
+
+
+class TestDistribution:
+    def test_roundtrip_divisible(self, rng):
+        tensor = rng.random((4, 6, 8))
+        grid = ProcessorGrid((2, 3, 2))
+        dist = DistributedTensor.from_dense(tensor, grid)
+        assert np.allclose(dist.to_dense(), tensor)
+
+    def test_roundtrip_with_padding(self, rng):
+        tensor = rng.random((5, 7, 3))
+        grid = ProcessorGrid((2, 3, 2))
+        dist = DistributedTensor.from_dense(tensor, grid)
+        assert dist.local_shape == (3, 3, 2)
+        assert np.allclose(dist.to_dense(), tensor)
+
+    def test_local_blocks_uniform_shape(self, rng):
+        tensor = rng.random((5, 5, 5))
+        grid = ProcessorGrid((2, 2, 1))
+        dist = DistributedTensor.from_dense(tensor, grid)
+        for rank in grid.ranks():
+            assert dist.local_block(rank).shape == dist.local_shape
+
+    def test_padded_regions_are_zero(self, rng):
+        tensor = rng.random((3, 3))
+        grid = ProcessorGrid((2, 2))
+        dist = DistributedTensor.from_dense(tensor, grid)
+        # rank (1, 1) owns rows 2.. and cols 2.. -> only element (2,2) real
+        block = dist.local_block(grid.rank((1, 1)))
+        assert block[0, 0] == tensor[2, 2]
+        assert block[1, 1] == 0.0
+
+    def test_norm_matches_dense(self, rng):
+        tensor = rng.random((5, 6, 7))
+        grid = ProcessorGrid((2, 2, 2))
+        dist = DistributedTensor.from_dense(tensor, grid)
+        assert np.isclose(dist.norm(), np.linalg.norm(tensor))
+
+    def test_padded_shape(self, rng):
+        tensor = rng.random((5, 7))
+        dist = DistributedTensor.from_dense(tensor, ProcessorGrid((2, 3)))
+        assert dist.padded_shape == (6, 9)
+
+    def test_single_processor_block_is_tensor(self, rng):
+        tensor = rng.random((4, 5))
+        dist = DistributedTensor.from_dense(tensor, ProcessorGrid((1, 1)))
+        assert np.allclose(dist.local_block(0), tensor)
+
+    def test_local_nbytes(self, rng):
+        tensor = rng.random((4, 4))
+        dist = DistributedTensor.from_dense(tensor, ProcessorGrid((2, 2)))
+        assert dist.local_nbytes() == 4 * 8
+
+    def test_order_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            DistributedTensor.from_dense(rng.random((4, 4)), ProcessorGrid((2, 2, 2)))
+
+    def test_constructor_validates_blocks(self, rng):
+        grid = ProcessorGrid((2,))
+        with pytest.raises(ValueError):
+            DistributedTensor({0: np.zeros((2,))}, (4,), grid)  # missing rank 1
+        with pytest.raises(ValueError):
+            DistributedTensor({0: np.zeros((3,)), 1: np.zeros((2,))}, (4,), grid)

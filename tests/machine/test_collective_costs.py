@@ -1,0 +1,50 @@
+"""Tests for the Section II-E collective cost formulas."""
+
+import math
+
+import pytest
+
+from repro.machine.collective_costs import (
+    all_gather_cost,
+    all_reduce_cost,
+    broadcast_cost,
+    reduce_scatter_cost,
+)
+
+
+class TestCollectiveCosts:
+    @pytest.mark.parametrize("func", [all_gather_cost, reduce_scatter_cost, broadcast_cost])
+    def test_single_process_is_free(self, func):
+        messages, words = func(1000, 1)
+        assert messages == 0
+        assert words == 0
+
+    def test_all_reduce_single_process_is_free(self):
+        assert all_reduce_cost(1000, 1) == (0.0, 0.0)
+
+    @pytest.mark.parametrize("n_procs", [2, 4, 8, 16, 64])
+    def test_all_gather_scaling(self, n_procs):
+        messages, words = all_gather_cost(500, n_procs)
+        assert messages == math.ceil(math.log2(n_procs))
+        assert words == 500
+
+    def test_all_reduce_is_double_of_reduce_scatter(self):
+        rs = reduce_scatter_cost(300, 8)
+        ar = all_reduce_cost(300, 8)
+        assert ar[0] == 2 * rs[0]
+        assert ar[1] == 2 * rs[1]
+
+    def test_broadcast_matches_all_gather(self):
+        assert broadcast_cost(128, 16) == all_gather_cost(128, 16)
+
+    def test_non_power_of_two_rounds_message_count_up(self):
+        messages, _ = all_gather_cost(10, 6)
+        assert messages == 3  # ceil(log2(6))
+
+    def test_negative_words_raise(self):
+        with pytest.raises(ValueError):
+            all_gather_cost(-1, 4)
+
+    def test_zero_procs_raise(self):
+        with pytest.raises(ValueError):
+            reduce_scatter_cost(10, 0)

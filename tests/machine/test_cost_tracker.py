@@ -1,0 +1,140 @@
+"""Tests for the cost tracker and modeled-time breakdowns."""
+
+import pytest
+
+from repro.machine.cost_tracker import CostTracker
+from repro.machine.params import MachineParams
+
+
+class TestRecording:
+    def test_flops_accumulate_by_category(self):
+        tracker = CostTracker()
+        tracker.add_flops("ttm", 100)
+        tracker.add_flops("ttm", 50)
+        tracker.add_flops("mttv", 25)
+        assert tracker.flops_by_category == {"ttm": 150, "mttv": 25}
+        assert tracker.total_flops == 175
+
+    def test_seconds_accumulate(self):
+        tracker = CostTracker()
+        tracker.add_seconds("solve", 0.5)
+        tracker.add_seconds("solve", 0.25)
+        assert tracker.seconds_by_category["solve"] == pytest.approx(0.75)
+        assert tracker.total_seconds == pytest.approx(0.75)
+
+    def test_horizontal_and_messages(self):
+        tracker = CostTracker()
+        tracker.add_horizontal_words(1000)
+        tracker.add_messages(3)
+        assert tracker.horizontal_words == 1000
+        assert tracker.messages == 3
+
+    def test_vertical_words_by_category(self):
+        tracker = CostTracker()
+        tracker.add_vertical_words(10, category="ttm")
+        tracker.add_vertical_words(5)
+        assert tracker.vertical_words_by_category == {"ttm": 10, "others": 5}
+        assert tracker.total_vertical_words == 15
+
+    @pytest.mark.parametrize("method,arg", [
+        ("add_flops", ("ttm", -1)),
+        ("add_seconds", ("ttm", -0.1)),
+        ("add_vertical_words", (-1,)),
+        ("add_horizontal_words", (-1,)),
+        ("add_messages", (-1,)),
+    ])
+    def test_negative_values_raise(self, method, arg):
+        tracker = CostTracker()
+        with pytest.raises(ValueError):
+            getattr(tracker, method)(*arg)
+
+
+class TestModeledTime:
+    def test_modeled_time_combines_all_terms(self):
+        tracker = CostTracker()
+        tracker.add_flops("ttm", 1000)
+        tracker.add_vertical_words(100)
+        tracker.add_horizontal_words(10)
+        tracker.add_messages(2)
+        params = MachineParams(alpha=1.0, beta=0.1, gamma=0.01, nu=0.05, cache_words=10)
+        expected = 1000 * 0.01 + 100 * 0.05 + 10 * 0.1 + 2 * 1.0
+        assert tracker.modeled_time(params) == pytest.approx(expected)
+
+    def test_breakdown_categories(self):
+        tracker = CostTracker()
+        tracker.add_flops("ttm", 100)
+        tracker.add_flops("solve", 10)
+        tracker.add_horizontal_words(7)
+        params = MachineParams.compute_only()
+        breakdown = tracker.breakdown(params)
+        assert breakdown.compute_seconds["ttm"] == pytest.approx(100.0)
+        assert breakdown.compute_seconds["solve"] == pytest.approx(10.0)
+        assert breakdown.horizontal_seconds == 0.0
+        cats = breakdown.category_seconds()
+        assert cats["ttm"] == pytest.approx(100.0)
+        assert "comm" in cats
+
+
+class TestSnapshots:
+    def test_diff_since_returns_delta(self):
+        tracker = CostTracker()
+        tracker.add_flops("ttm", 100)
+        snap = tracker.snapshot()
+        tracker.add_flops("ttm", 50)
+        tracker.add_flops("mttv", 7)
+        tracker.add_messages(2)
+        delta = tracker.diff_since(snap)
+        assert delta.flops_by_category == {"ttm": 50, "mttv": 7}
+        assert delta.messages == 2
+
+    def test_snapshot_is_independent(self):
+        tracker = CostTracker()
+        snap = tracker.snapshot()
+        tracker.add_flops("ttm", 5)
+        assert snap.total_flops == 0
+
+    def test_reset(self):
+        tracker = CostTracker()
+        tracker.add_flops("ttm", 5)
+        tracker.add_seconds("ttm", 1.0)
+        tracker.reset()
+        assert tracker.total_flops == 0
+        assert tracker.total_seconds == 0.0
+
+    def test_merge_adds_counters(self):
+        a, b = CostTracker(), CostTracker()
+        a.add_flops("ttm", 10)
+        b.add_flops("ttm", 5)
+        b.add_horizontal_words(3)
+        a.merge(b)
+        assert a.flops_by_category["ttm"] == 15
+        assert a.horizontal_words == 3
+
+
+class TestMaxOver:
+    def test_max_over_takes_per_category_max(self):
+        a, b = CostTracker(), CostTracker()
+        a.add_flops("ttm", 10)
+        a.add_flops("solve", 1)
+        b.add_flops("ttm", 4)
+        b.add_flops("solve", 9)
+        combined = CostTracker.max_over([a, b])
+        assert combined.flops_by_category == {"ttm": 10, "solve": 9}
+
+    def test_max_over_empty_is_zero(self):
+        assert CostTracker.max_over([]).total_flops == 0
+
+    def test_max_over_messages_and_words(self):
+        a, b = CostTracker(), CostTracker()
+        a.add_messages(5)
+        b.add_horizontal_words(100)
+        combined = CostTracker.max_over([a, b])
+        assert combined.messages == 5
+        assert combined.horizontal_words == 100
+
+    def test_as_dict_roundtrip_keys(self):
+        tracker = CostTracker()
+        tracker.add_flops("ttm", 1)
+        summary = tracker.as_dict()
+        assert set(summary) == {"flops", "vertical_words", "seconds",
+                                "horizontal_words", "messages"}

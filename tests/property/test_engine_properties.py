@@ -1,0 +1,91 @@
+"""Property-based tests for the MTTKRP engines, cache and collectives."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.simulated import SimulatedMachine
+from repro.grid.processor_grid import ProcessorGrid
+from repro.machine.params import MachineParams
+from repro.tensor.mttkrp import mttkrp
+from repro.trees.registry import make_provider
+
+_dim = st.integers(min_value=2, max_value=5)
+_rank = st.integers(min_value=1, max_value=3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data(), order=st.integers(3, 4), rank=_rank,
+       engine=st.sampled_from(["dt", "msdt"]))
+def test_engines_match_exact_mttkrp_under_random_update_sequences(data, order, rank, engine):
+    """For any sequence of factor updates, the amortizing engines stay exact."""
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    shape = tuple(data.draw(_dim) for _ in range(order))
+    tensor = rng.standard_normal(shape)
+    factors = [rng.standard_normal((s, rank)) for s in shape]
+    provider = make_provider(engine, tensor, [f.copy() for f in factors])
+
+    n_steps = data.draw(st.integers(3, 10))
+    for _ in range(n_steps):
+        mode = data.draw(st.integers(0, order - 1))
+        result = provider.mttkrp(mode)
+        expected = mttkrp(tensor, factors, mode)
+        assert np.allclose(result, expected, atol=1e-8)
+        if data.draw(st.booleans()):
+            new_factor = rng.standard_normal(factors[mode].shape)
+            factors[mode] = new_factor
+            provider.set_factor(mode, new_factor)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_simulated_allreduce_matches_numpy_sum(data):
+    n_ranks = data.draw(st.integers(1, 6))
+    rows = data.draw(st.integers(1, 4))
+    cols = data.draw(st.integers(1, 4))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    machine = SimulatedMachine(n_ranks, params=MachineParams.communication_only())
+    contribs = {r: rng.standard_normal((rows, cols)) for r in range(n_ranks)}
+    group = list(range(n_ranks))
+    result = machine.all_reduce(contribs, group)
+    expected = np.sum([contribs[r] for r in group], axis=0)
+    for r in group:
+        assert np.allclose(result[r], expected, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_reduce_scatter_then_allgather_is_allreduce(data):
+    n_ranks = data.draw(st.integers(1, 5))
+    rows = data.draw(st.integers(n_ranks, 3 * n_ranks))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    machine = SimulatedMachine(n_ranks, params=MachineParams.communication_only())
+    group = list(range(n_ranks))
+    contribs = {r: rng.standard_normal((rows, 2)) for r in group}
+    scattered = machine.reduce_scatter_rows(contribs, group)
+    gathered = machine.all_gather_rows(scattered, group)
+    reduced = machine.all_reduce(contribs, group)
+    for r in group:
+        assert np.allclose(gathered[r], reduced[r], atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=st.lists(st.integers(1, 4), min_size=1, max_size=4))
+def test_grid_rank_coordinate_roundtrip(dims):
+    grid = ProcessorGrid(dims)
+    for rank in grid.ranks():
+        assert grid.rank(grid.coordinate(rank)) == rank
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=st.lists(st.integers(1, 4), min_size=2, max_size=4), data=st.data())
+def test_grid_slice_groups_partition(dims, data):
+    grid = ProcessorGrid(dims)
+    mode = data.draw(st.integers(0, len(dims) - 1))
+    groups = grid.slice_groups(mode)
+    seen = sorted(r for g in groups for r in g)
+    assert seen == list(range(grid.size))
+    for value, group in enumerate(groups):
+        assert all(grid.coordinate(r)[mode] == value for r in group)

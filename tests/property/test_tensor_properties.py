@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the tensor algebra substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor.mttkrp import mttkrp, partial_mttkrp
+from repro.tensor.products import hadamard_all_but, khatri_rao
+from repro.tensor.unfold import fold, generalized_unfolding, refold_generalized, unfold
+
+# keep shapes tiny so the whole property suite stays fast
+_small_dim = st.integers(min_value=1, max_value=5)
+_order = st.integers(min_value=2, max_value=4)
+_rank = st.integers(min_value=1, max_value=4)
+
+
+def _random_tensor(data, order):
+    shape = tuple(data.draw(_small_dim) for _ in range(order))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+def _random_factors(data, shape, rank):
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((s, rank)) for s in shape]
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), order=_order)
+def test_fold_unfold_roundtrip(data, order):
+    tensor = _random_tensor(data, order)
+    mode = data.draw(st.integers(0, order - 1))
+    assert np.array_equal(fold(unfold(tensor, mode), mode, tensor.shape), tensor)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), order=st.integers(3, 4))
+def test_generalized_unfolding_roundtrip(data, order):
+    tensor = _random_tensor(data, order)
+    n_keep = data.draw(st.integers(1, order))
+    keep = sorted(data.draw(st.permutations(range(order)))[:n_keep])
+    unfolded = generalized_unfolding(tensor, keep)
+    assert np.array_equal(refold_generalized(unfolded, keep, tensor.shape), tensor)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), order=_order, rank=_rank)
+def test_mttkrp_unfolding_identity(data, order, rank):
+    """unfold(T, n) @ khatri_rao(others) == mttkrp(T, factors, n) for every mode."""
+    tensor = _random_tensor(data, order)
+    factors = _random_factors(data, tensor.shape, rank)
+    mode = data.draw(st.integers(0, order - 1))
+    others = [factors[j] for j in range(order) if j != mode]
+    if others:
+        via_unfolding = unfold(tensor, mode) @ khatri_rao(others)
+    else:
+        via_unfolding = tensor[:, None] * np.ones((1, rank))
+    assert np.allclose(via_unfolding, mttkrp(tensor, factors, mode), atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), order=st.integers(3, 4), rank=_rank)
+def test_partial_mttkrp_contraction_consistency(data, order, rank):
+    """Contracting the remaining modes of M^(S) one at a time reaches M^(n)."""
+    tensor = _random_tensor(data, order)
+    factors = _random_factors(data, tensor.shape, rank)
+    target = data.draw(st.integers(0, order - 1))
+    other = data.draw(st.integers(0, order - 1).filter(lambda m: m != target))
+    keep = sorted({target, other})
+    pair = partial_mttkrp(tensor, factors, keep)
+    axis = keep.index(other)
+    moved = np.moveaxis(pair, axis, -2)
+    contracted = np.einsum("...yr,yr->...r", moved, factors[other])
+    assert np.allclose(contracted, mttkrp(tensor, factors, target), atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), rank=_rank, count=st.integers(2, 5))
+def test_khatri_rao_row_count_and_column_structure(data, rank, count):
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    mats = [rng.standard_normal((data.draw(_small_dim), rank)) for _ in range(count)]
+    kr = khatri_rao(mats)
+    assert kr.shape == (int(np.prod([m.shape[0] for m in mats])), rank)
+    for r in range(rank):
+        column = mats[0][:, r]
+        for m in mats[1:]:
+            column = np.kron(column, m[:, r])
+        assert np.allclose(kr[:, r], column, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), count=st.integers(1, 5), rank=_rank)
+def test_hadamard_all_but_is_permutation_invariant(data, count, rank):
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    mats = [rng.standard_normal((rank, rank)) for _ in range(count)]
+    skip = data.draw(st.integers(0, count - 1))
+    expected = np.ones((rank, rank))
+    for i, m in enumerate(mats):
+        if i != skip:
+            expected = expected * m
+    assert np.allclose(hadamard_all_but(mats, skip), expected, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), order=_order, rank=_rank)
+def test_mttkrp_is_linear_in_the_tensor(data, order, rank):
+    tensor_a = _random_tensor(data, order)
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    tensor_b = np.random.default_rng(seed).standard_normal(tensor_a.shape)
+    factors = _random_factors(data, tensor_a.shape, rank)
+    mode = data.draw(st.integers(0, order - 1))
+    combined = mttkrp(2.0 * tensor_a + 3.0 * tensor_b, factors, mode)
+    separate = 2.0 * mttkrp(tensor_a, factors, mode) + 3.0 * mttkrp(tensor_b, factors, mode)
+    assert np.allclose(combined, separate, atol=1e-7)

@@ -1,0 +1,111 @@
+"""Tests for Khatri-Rao, Kronecker and Hadamard products."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cost_tracker import CostTracker
+from repro.tensor.products import hadamard_all_but, hadamard_chain, khatri_rao, kronecker
+
+
+class TestKhatriRao:
+    def test_two_matrix_values(self, rng):
+        a = rng.random((3, 2))
+        b = rng.random((4, 2))
+        kr = khatri_rao([a, b])
+        assert kr.shape == (12, 2)
+        for i in range(3):
+            for j in range(4):
+                for r in range(2):
+                    assert np.isclose(kr[i * 4 + j, r], a[i, r] * b[j, r])
+
+    def test_matches_column_kron(self, rng):
+        a = rng.random((3, 4))
+        b = rng.random((5, 4))
+        kr = khatri_rao([a, b])
+        for r in range(4):
+            assert np.allclose(kr[:, r], np.kron(a[:, r], b[:, r]))
+
+    def test_associativity(self, rng):
+        mats = [rng.random((s, 3)) for s in (2, 3, 4)]
+        left = khatri_rao([khatri_rao(mats[:2]), mats[2]])
+        flat = khatri_rao(mats)
+        assert np.allclose(left, flat)
+
+    def test_single_matrix_is_copy(self, rng):
+        a = rng.random((3, 2))
+        out = khatri_rao([a])
+        assert np.array_equal(out, a)
+        out[0, 0] = 99.0
+        assert a[0, 0] != 99.0
+
+    def test_rank_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            khatri_rao([rng.random((3, 2)), rng.random((3, 3))])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            khatri_rao([])
+
+    def test_tracker_records_flops(self, rng):
+        tracker = CostTracker()
+        khatri_rao([rng.random((3, 2)), rng.random((4, 2))], tracker=tracker)
+        assert tracker.total_flops == 3 * 4 * 2
+
+
+class TestKronecker:
+    def test_matches_numpy(self, rng):
+        a, b = rng.random((2, 3)), rng.random((4, 2))
+        assert np.allclose(kronecker([a, b]), np.kron(a, b))
+
+    def test_three_way(self, rng):
+        mats = [rng.random((2, 2)) for _ in range(3)]
+        assert np.allclose(kronecker(mats), np.kron(np.kron(mats[0], mats[1]), mats[2]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            kronecker([])
+
+
+class TestHadamard:
+    def test_chain_values(self, rng):
+        mats = [rng.random((3, 3)) for _ in range(4)]
+        expected = mats[0] * mats[1] * mats[2] * mats[3]
+        assert np.allclose(hadamard_chain(mats), expected)
+
+    def test_chain_does_not_mutate_inputs(self, rng):
+        mats = [rng.random((2, 2)) for _ in range(2)]
+        copies = [m.copy() for m in mats]
+        hadamard_chain(mats)
+        for m, c in zip(mats, copies):
+            assert np.array_equal(m, c)
+
+    def test_chain_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            hadamard_chain([rng.random((2, 2)), rng.random((3, 3))])
+
+    def test_chain_empty_raises(self):
+        with pytest.raises(ValueError):
+            hadamard_chain([])
+
+    def test_all_but_skips_requested_index(self, rng):
+        mats = [rng.random((3, 3)) for _ in range(3)]
+        assert np.allclose(hadamard_all_but(mats, 1), mats[0] * mats[2])
+
+    def test_all_but_single_matrix_gives_ones(self, rng):
+        mats = [rng.random((2, 2))]
+        assert np.array_equal(hadamard_all_but(mats, 0), np.ones((2, 2)))
+
+    def test_all_but_bad_index_raises(self, rng):
+        with pytest.raises(ValueError):
+            hadamard_all_but([rng.random((2, 2))], 3)
+
+    def test_all_but_matches_gamma_equation(self, rng):
+        """Gamma^(n) of Eq. (1): Hadamard product of all Gram matrices but n."""
+        factors = [rng.random((5, 3)) for _ in range(4)]
+        grams = [f.T @ f for f in factors]
+        for n in range(4):
+            expected = np.ones((3, 3))
+            for i, g in enumerate(grams):
+                if i != n:
+                    expected = expected * g
+            assert np.allclose(hadamard_all_but(grams, n), expected)

@@ -1,0 +1,147 @@
+"""Tests for the TTM and (batched) TTV kernels."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cost_tracker import CostTracker
+from repro.tensor.mttkrp import partial_mttkrp
+from repro.tensor.ttm import first_contraction, multi_ttm, ttm
+from repro.tensor.ttv import contract_intermediate_mode, multi_ttv, ttv
+
+
+class TestTTM:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_einsum(self, small_tensor3, rng, mode):
+        mat = rng.random((4, small_tensor3.shape[mode]))
+        out = ttm(small_tensor3, mat, mode)
+        subs_in = "abc"
+        subs_out = subs_in.replace(subs_in[mode], "z")
+        expected = np.einsum(f"{subs_in},z{subs_in[mode]}->{subs_out}", small_tensor3, mat)
+        assert np.allclose(out, expected)
+        assert out.shape[mode] == 4
+
+    def test_transpose_flag(self, small_tensor3, rng):
+        mat = rng.random((small_tensor3.shape[1], 4))
+        assert np.allclose(
+            ttm(small_tensor3, mat, 1, transpose=True),
+            ttm(small_tensor3, mat.T, 1),
+        )
+
+    def test_shape_mismatch_raises(self, small_tensor3, rng):
+        with pytest.raises(ValueError):
+            ttm(small_tensor3, rng.random((4, 99)), 0)
+
+    def test_multi_ttm_matches_sequential(self, small_tensor3, rng):
+        mats = [rng.random((3, small_tensor3.shape[0])), rng.random((2, small_tensor3.shape[2]))]
+        out = multi_ttm(small_tensor3, mats, [0, 2])
+        expected = ttm(ttm(small_tensor3, mats[0], 0), mats[1], 2)
+        assert np.allclose(out, expected)
+
+    def test_multi_ttm_length_mismatch_raises(self, small_tensor3, rng):
+        with pytest.raises(ValueError):
+            multi_ttm(small_tensor3, [rng.random((2, 7))], [0, 1])
+
+    def test_flop_and_time_recording(self, small_tensor3, rng):
+        tracker = CostTracker()
+        ttm(small_tensor3, rng.random((4, 7)), 0, tracker=tracker, category="ttm")
+        assert tracker.flops_by_category["ttm"] == 2 * small_tensor3.size * 4
+        assert tracker.seconds_by_category["ttm"] >= 0.0
+        assert tracker.total_vertical_words > 0
+
+
+class TestFirstContraction:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_partial_mttkrp(self, small_tensor3, factors3, mode):
+        keep = [m for m in range(3) if m != mode]
+        out = first_contraction(small_tensor3, factors3[mode], mode)
+        expected = partial_mttkrp(small_tensor3, factors3, keep)
+        # partial_mttkrp contracts *all* other modes; first_contraction only one,
+        # so only compare when a single mode is contracted (order-3, keep 2 modes)
+        assert out.shape == expected.shape
+        # direct check against einsum
+        subs = "abc"
+        other = "".join(subs[m] for m in keep)
+        manual = np.einsum(f"abc,{subs[mode]}r->{other}r", small_tensor3, factors3[mode])
+        assert np.allclose(out, manual)
+
+    def test_order4_shape(self, small_tensor4, factors4):
+        out = first_contraction(small_tensor4, factors4[2], 2)
+        expected_shape = tuple(
+            s for i, s in enumerate(small_tensor4.shape) if i != 2
+        ) + (3,)
+        assert out.shape == expected_shape
+
+    def test_wrong_factor_rows_raises(self, small_tensor3, rng):
+        with pytest.raises(ValueError):
+            first_contraction(small_tensor3, rng.random((99, 4)), 0)
+
+    def test_records_ttm_flops(self, small_tensor3, factors3):
+        tracker = CostTracker()
+        first_contraction(small_tensor3, factors3[1], 1, tracker=tracker)
+        assert tracker.flops_by_category["ttm"] == 2 * small_tensor3.size * 4
+
+
+class TestTTV:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_tensordot(self, small_tensor3, rng, mode):
+        vec = rng.random(small_tensor3.shape[mode])
+        out = ttv(small_tensor3, vec, mode)
+        assert np.allclose(out, np.tensordot(small_tensor3, vec, axes=(mode, 0)))
+
+    def test_wrong_length_raises(self, small_tensor3, rng):
+        with pytest.raises(ValueError):
+            ttv(small_tensor3, rng.random(99), 0)
+
+    def test_multi_ttv_matches_manual(self, small_tensor4, rng):
+        vecs = [rng.random(small_tensor4.shape[1]), rng.random(small_tensor4.shape[3])]
+        out = multi_ttv(small_tensor4, vecs, [1, 3])
+        expected = np.einsum("abcd,b,d->ac", small_tensor4, vecs[0], vecs[1])
+        assert np.allclose(out, expected)
+
+    def test_multi_ttv_order_independent(self, small_tensor4, rng):
+        v1 = rng.random(small_tensor4.shape[0])
+        v2 = rng.random(small_tensor4.shape[2])
+        out_a = multi_ttv(small_tensor4, [v1, v2], [0, 2])
+        out_b = multi_ttv(small_tensor4, [v2, v1], [2, 0])
+        assert np.allclose(out_a, out_b)
+
+    def test_multi_ttv_duplicate_modes_raise(self, small_tensor3, rng):
+        v = rng.random(small_tensor3.shape[0])
+        with pytest.raises(ValueError):
+            multi_ttv(small_tensor3, [v, v], [0, 0])
+
+
+class TestContractIntermediateMode:
+    def test_matches_einsum(self, small_tensor3, factors3):
+        intermediate = first_contraction(small_tensor3, factors3[2], 2)  # modes (0,1), rank
+        out = contract_intermediate_mode(intermediate, factors3[1], axis=1)
+        expected = np.einsum("abr,br->ar", intermediate, factors3[1])
+        assert np.allclose(out, expected)
+
+    def test_is_batched_ttv(self, small_tensor3, factors3):
+        """Column r of the result is a TTV with column r of the factor."""
+        intermediate = first_contraction(small_tensor3, factors3[2], 2)
+        out = contract_intermediate_mode(intermediate, factors3[0], axis=0)
+        for r in range(4):
+            expected = intermediate[:, :, r].T @ factors3[0][:, r]
+            assert np.allclose(out[:, r], expected)
+
+    def test_axis_out_of_range_raises(self, small_tensor3, factors3):
+        intermediate = first_contraction(small_tensor3, factors3[2], 2)
+        with pytest.raises(ValueError):
+            contract_intermediate_mode(intermediate, factors3[0], axis=2)
+
+    def test_factor_shape_mismatch_raises(self, small_tensor3, factors3, rng):
+        intermediate = first_contraction(small_tensor3, factors3[2], 2)
+        with pytest.raises(ValueError):
+            contract_intermediate_mode(intermediate, rng.random((99, 4)), axis=0)
+
+    def test_records_mttv_flops(self, small_tensor3, factors3):
+        tracker = CostTracker()
+        intermediate = first_contraction(small_tensor3, factors3[2], 2)
+        contract_intermediate_mode(intermediate, factors3[0], axis=0, tracker=tracker)
+        assert tracker.flops_by_category["mttv"] == 2 * intermediate.size
+
+    def test_requires_rank_axis(self, rng):
+        with pytest.raises(ValueError):
+            contract_intermediate_mode(rng.random(5), rng.random((5, 2)), axis=0)

@@ -1,0 +1,85 @@
+"""Tests for matricization and generalized unfoldings."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.unfold import fold, generalized_unfolding, refold_generalized, unfold
+
+
+class TestUnfold:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_shape(self, small_tensor3, mode):
+        mat = unfold(small_tensor3, mode)
+        assert mat.shape == (
+            small_tensor3.shape[mode],
+            small_tensor3.size // small_tensor3.shape[mode],
+        )
+
+    def test_mode0_is_plain_reshape(self, small_tensor3):
+        assert np.array_equal(unfold(small_tensor3, 0), small_tensor3.reshape(7, -1))
+
+    def test_negative_mode(self, small_tensor3):
+        assert np.array_equal(unfold(small_tensor3, -1), unfold(small_tensor3, 2))
+
+    def test_entries_match_element_indexing(self, small_tensor3):
+        mat = unfold(small_tensor3, 1)
+        # column index follows C order over the remaining modes (0, 2)
+        s0, s1, s2 = small_tensor3.shape
+        for i in range(s1):
+            for a in range(s0):
+                for c in range(s2):
+                    assert mat[i, a * s2 + c] == small_tensor3[a, i, c]
+
+    def test_bad_mode_raises(self, small_tensor3):
+        with pytest.raises(ValueError):
+            unfold(small_tensor3, 3)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_fold_roundtrip_order4(self, small_tensor4, mode):
+        mat = unfold(small_tensor4, mode)
+        back = fold(mat, mode, small_tensor4.shape)
+        assert np.array_equal(back, small_tensor4)
+
+    def test_fold_shape_mismatch_raises(self, small_tensor3):
+        with pytest.raises(ValueError):
+            fold(np.zeros((7, 31)), 0, small_tensor3.shape)
+
+
+class TestGeneralizedUnfolding:
+    def test_keep_one_mode_matches_unfold(self, small_tensor3):
+        gen = generalized_unfolding(small_tensor3, [1])
+        assert np.array_equal(gen, unfold(small_tensor3, 1))
+
+    def test_keep_all_modes_is_identity_with_flat_tail(self, small_tensor3):
+        gen = generalized_unfolding(small_tensor3, [0, 1, 2])
+        assert gen.shape == small_tensor3.shape + (1,)
+        assert np.array_equal(gen[..., 0], small_tensor3)
+
+    @pytest.mark.parametrize("keep", [[0, 2], [1, 3], [0, 1, 3], [2]])
+    def test_refold_roundtrip(self, small_tensor4, keep):
+        gen = generalized_unfolding(small_tensor4, keep)
+        back = refold_generalized(gen, keep, small_tensor4.shape)
+        assert np.array_equal(back, small_tensor4)
+
+    def test_keep_modes_sorted_output_axes(self, small_tensor4):
+        gen = generalized_unfolding(small_tensor4, [3, 1])
+        assert gen.shape[:2] == (small_tensor4.shape[1], small_tensor4.shape[3])
+
+    def test_element_correspondence_order4(self, small_tensor4):
+        # paper example: T(j, k, l, m) = T^(1,3)(j, l, k + (m-1) s_2) in 1-based
+        # notation; check the 0-based equivalent for keep = (0, 2)
+        gen = generalized_unfolding(small_tensor4, [0, 2])
+        s = small_tensor4.shape
+        for j in range(s[0]):
+            for k in range(s[1]):
+                for l in range(s[2]):
+                    for m in range(s[3]):
+                        assert gen[j, l, k * s[3] + m] == small_tensor4[j, k, l, m]
+
+    def test_duplicate_modes_raise(self, small_tensor3):
+        with pytest.raises(ValueError):
+            generalized_unfolding(small_tensor3, [0, 0])
+
+    def test_bad_mode_raises(self, small_tensor3):
+        with pytest.raises(ValueError):
+            generalized_unfolding(small_tensor3, [5])

@@ -1,0 +1,132 @@
+"""Tests for the contraction-order policies and the descent executor."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.mttkrp import mttkrp, partial_mttkrp
+from repro.trees.cache import ContractionCache
+from repro.trees.descent import ascending_order, binary_split_order, descend
+
+
+class TestBinarySplitOrder:
+    def test_order4_left_leaf(self):
+        # descending to leaf 0 contracts 3, 2 (right half, farthest first), then 1
+        assert binary_split_order([0, 1, 2, 3], 0) == [3, 2, 1]
+
+    def test_order4_right_leaf(self):
+        # descending to leaf 3 contracts 0, 1 (left half, ascending), then 2
+        assert binary_split_order([0, 1, 2, 3], 3) == [0, 1, 2]
+
+    def test_order3_middle_leaf(self):
+        order = binary_split_order([0, 1, 2], 1)
+        assert sorted(order) == [0, 2]
+
+    def test_all_other_modes_contracted_exactly_once(self):
+        for order_n in (3, 4, 5, 6):
+            modes = list(range(order_n))
+            for target in modes:
+                contraction = binary_split_order(modes, target)
+                assert sorted(contraction) == [m for m in modes if m != target]
+
+    def test_works_on_mode_subsets(self):
+        assert sorted(binary_split_order([1, 3, 4], 3)) == [1, 4]
+
+    def test_target_not_in_modes_raises(self):
+        with pytest.raises(ValueError):
+            binary_split_order([0, 1], 5)
+
+
+class TestAscendingOrder:
+    def test_excludes_targets(self):
+        assert ascending_order([0, 1, 2, 3], {1, 3}) == [0, 2]
+
+    def test_single_target(self):
+        assert ascending_order([0, 2, 4], {2}) == [0, 4]
+
+    def test_missing_target_raises(self):
+        with pytest.raises(ValueError):
+            ascending_order([0, 1], {5})
+
+
+class TestDescend:
+    def test_full_descent_matches_mttkrp(self, small_tensor3, factors3):
+        cache = ContractionCache()
+        versions = [0, 0, 0]
+        out = descend(
+            small_tensor3, factors3, versions, cache,
+            start_modes=[0, 1, 2], start_array=None, start_versions_used={},
+            contraction_order=[2, 1],
+        )
+        assert np.allclose(out, mttkrp(small_tensor3, factors3, 0))
+
+    def test_intermediates_are_cached_with_versions(self, small_tensor3, factors3):
+        cache = ContractionCache()
+        versions = [5, 6, 7]
+        descend(
+            small_tensor3, factors3, versions, cache,
+            start_modes=[0, 1, 2], start_array=None, start_versions_used={},
+            contraction_order=[2, 1],
+        )
+        pair = cache.get_exact([0, 1], versions)
+        assert pair is not None
+        assert pair.versions_used == {2: 7}
+        leaf = cache.get_exact([0], versions)
+        assert leaf is not None
+        assert leaf.versions_used == {2: 7, 1: 6}
+
+    def test_resume_from_cached_intermediate(self, small_tensor3, factors3):
+        cache = ContractionCache()
+        versions = [0, 0, 0]
+        pair = descend(
+            small_tensor3, factors3, versions, cache,
+            start_modes=[0, 1, 2], start_array=None, start_versions_used={},
+            contraction_order=[2],
+        )
+        leaf = descend(
+            small_tensor3, factors3, versions, cache,
+            start_modes=[0, 1], start_array=pair, start_versions_used={2: 0},
+            contraction_order=[0],
+        )
+        assert np.allclose(leaf, mttkrp(small_tensor3, factors3, 1))
+
+    def test_partial_descent_matches_partial_mttkrp(self, small_tensor4, factors4):
+        cache = ContractionCache()
+        versions = [0] * 4
+        out = descend(
+            small_tensor4, factors4, versions, cache,
+            start_modes=[0, 1, 2, 3], start_array=None, start_versions_used={},
+            contraction_order=[1, 3],
+        )
+        assert np.allclose(out, partial_mttkrp(small_tensor4, factors4, [0, 2]))
+
+    def test_contraction_order_irrelevant_for_result(self, small_tensor4, factors4):
+        versions = [0] * 4
+        out_a = descend(
+            small_tensor4, factors4, versions, ContractionCache(),
+            [0, 1, 2, 3], None, {}, [3, 1, 0],
+        )
+        out_b = descend(
+            small_tensor4, factors4, versions, ContractionCache(),
+            [0, 1, 2, 3], None, {}, [0, 1, 3],
+        )
+        assert np.allclose(out_a, out_b)
+        assert np.allclose(out_a, mttkrp(small_tensor4, factors4, 2))
+
+    def test_unknown_mode_in_order_raises(self, small_tensor3, factors3):
+        with pytest.raises(ValueError):
+            descend(
+                small_tensor3, factors3, [0, 0, 0], ContractionCache(),
+                [0, 1], np.zeros((7, 6, 4)), {2: 0}, [2],
+            )
+
+    def test_tracker_records_ttm_then_mttv(self, small_tensor3, factors3):
+        from repro.machine.cost_tracker import CostTracker
+
+        tracker = CostTracker()
+        descend(
+            small_tensor3, factors3, [0, 0, 0], ContractionCache(),
+            [0, 1, 2], None, {}, [2, 1], tracker=tracker,
+        )
+        flops = tracker.flops_by_category
+        assert flops["ttm"] == 2 * small_tensor3.size * 4
+        assert flops["mttv"] > 0

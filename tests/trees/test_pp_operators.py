@@ -1,0 +1,121 @@
+"""Tests for the pairwise-perturbation operator builder."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cost_tracker import CostTracker
+from repro.tensor.mttkrp import mttkrp, partial_mttkrp
+from repro.trees.pp_operators import PairwiseOperators
+from repro.trees.registry import make_provider
+
+
+class TestBuild:
+    @pytest.mark.parametrize("order", [3, 4])
+    def test_pair_operators_match_partial_mttkrp(self, order, rng):
+        shape = tuple(rng.integers(4, 7) for _ in range(order))
+        tensor = rng.random(shape)
+        factors = [rng.random((s, 3)) for s in shape]
+        operators = PairwiseOperators.build(tensor, factors)
+        for i in range(order):
+            for j in range(i + 1, order):
+                expected = partial_mttkrp(tensor, factors, [i, j])
+                assert np.allclose(operators.pair_operator(i, j), expected, atol=1e-10)
+
+    @pytest.mark.parametrize("order", [3, 4])
+    def test_single_operators_match_mttkrp(self, order, rng):
+        shape = tuple(rng.integers(4, 7) for _ in range(order))
+        tensor = rng.random(shape)
+        factors = [rng.random((s, 3)) for s in shape]
+        operators = PairwiseOperators.build(tensor, factors)
+        for n in range(order):
+            assert np.allclose(operators.single(n), mttkrp(tensor, factors, n), atol=1e-10)
+
+    def test_pair_operator_orientation(self, small_tensor3, factors3):
+        operators = PairwiseOperators.build(small_tensor3, factors3)
+        forward = operators.pair_operator(0, 2)
+        backward = operators.pair_operator(2, 0)
+        assert forward.shape == (7, 5, 4)
+        assert backward.shape == (5, 7, 4)
+        assert np.allclose(forward, np.transpose(backward, (1, 0, 2)))
+
+    def test_same_mode_pair_raises(self, small_tensor3, factors3):
+        operators = PairwiseOperators.build(small_tensor3, factors3)
+        with pytest.raises(ValueError):
+            operators.pair_operator(1, 1)
+
+    def test_memory_words_counts_all_operators(self, small_tensor3, factors3):
+        operators = PairwiseOperators.build(small_tensor3, factors3)
+        expected = (7 * 6 + 7 * 5 + 6 * 5) * 4 + (7 + 6 + 5) * 4
+        assert operators.memory_words() == expected
+
+    def test_checkpoint_factors_are_copies(self, small_tensor3, factors3):
+        operators = PairwiseOperators.build(small_tensor3, factors3)
+        factors3[0][0, 0] += 100.0
+        assert operators.checkpoint_factors[0][0, 0] != factors3[0][0, 0]
+
+    def test_order2_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PairwiseOperators.build(rng.random((4, 4)), [rng.random((4, 2))] * 2)
+
+
+class TestBuildWithProvider:
+    def test_shares_provider_cache_and_matches_standalone(self, small_tensor3, factors3):
+        provider = make_provider("msdt", small_tensor3, factors3)
+        # run a sweep so the provider's cache holds reusable intermediates
+        for mode in range(3):
+            result = provider.mttkrp(mode)
+            provider.set_factor(mode, result / (np.linalg.norm(result) + 1.0))
+        shared = PairwiseOperators.build(
+            small_tensor3, provider.factors, provider=provider
+        )
+        standalone = PairwiseOperators.build(small_tensor3, provider.factors)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.allclose(shared.pair_operator(i, j),
+                                   standalone.pair_operator(i, j), atol=1e-10)
+            assert np.allclose(shared.single(i), standalone.single(i), atol=1e-10)
+
+    def test_provider_cache_reuse_saves_first_level_flops(self, rng):
+        shape = (10, 10, 10)
+        tensor = rng.random(shape)
+        factors = [rng.random((10, 4)) for _ in range(3)]
+
+        tracker_shared = CostTracker()
+        provider = make_provider("msdt", tensor, [f.copy() for f in factors],
+                                 tracker=CostTracker())
+        for mode in range(3):
+            result = provider.mttkrp(mode)
+            provider.set_factor(mode, result / (np.linalg.norm(result) + 1.0))
+        PairwiseOperators.build(tensor, provider.factors, tracker=tracker_shared,
+                                provider=provider)
+
+        tracker_standalone = CostTracker()
+        PairwiseOperators.build(tensor, provider.factors, tracker=tracker_standalone)
+
+        assert (tracker_shared.flops_by_category.get("ttm", 0)
+                < tracker_standalone.flops_by_category.get("ttm", 0))
+
+    def test_mismatched_provider_factors_raise(self, small_tensor3, factors3, rng):
+        provider = make_provider("dt", small_tensor3, factors3)
+        other = [rng.random(f.shape) for f in factors3]
+        with pytest.raises(ValueError):
+            PairwiseOperators.build(small_tensor3, other, provider=provider)
+
+    def test_provider_bound_to_other_tensor_raises(self, small_tensor3, factors3, rng):
+        provider = make_provider("dt", rng.random((3, 3, 3)), [rng.random((3, 4))] * 3)
+        with pytest.raises(ValueError):
+            PairwiseOperators.build(small_tensor3, factors3, provider=provider)
+
+
+class TestConstructorValidation:
+    def test_wrong_pair_shape_rejected(self, factors3):
+        with pytest.raises(ValueError):
+            PairwiseOperators(factors3, {(0, 1): np.zeros((2, 2, 4))}, {})
+
+    def test_wrong_single_shape_rejected(self, factors3):
+        with pytest.raises(ValueError):
+            PairwiseOperators(factors3, {}, {0: np.zeros((2, 4))})
+
+    def test_bad_pair_key_rejected(self, factors3):
+        with pytest.raises(ValueError):
+            PairwiseOperators(factors3, {(1, 0): np.zeros((6, 7, 4))}, {})
