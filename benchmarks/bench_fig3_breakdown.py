@@ -30,7 +30,7 @@ def test_fig3_breakdown_modeled(benchmark, report, panel):
     )
     text = format_breakdown(
         out, title=f"Figure {panel[-2:]} (modeled) grid={'x'.join(map(str, config['grid']))} "
-                   f"— per-sweep seconds by kernel"
+                   "— per-sweep seconds by kernel"
     )
     report(f"{panel}_breakdown_modeled", text)
     # the paper's headline observation: TTM dominates every kernel except the
@@ -53,6 +53,6 @@ def test_fig3_breakdown_executed(benchmark, report, order, grid, s_local, rank):
     )
     label = "x".join(map(str, grid))
     text = format_breakdown(out, title=f"Executed breakdown (order {order}, grid {label}) "
-                                       f"— measured kernel seconds of the slowest rank")
+                                       "— measured kernel seconds of the slowest rank")
     report(f"fig3_breakdown_executed_order{order}", text)
     assert out["dt"]["ttm"] >= 0.0

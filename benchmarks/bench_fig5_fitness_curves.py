@@ -16,7 +16,6 @@ never slower than DT in per-sweep time.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data.coil import coil_like_tensor

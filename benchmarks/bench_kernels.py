@@ -9,13 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from conftest import BENCH_TINY
 
 from repro.core.pp_corrections import first_order_correction
 from repro.trees.pp_operators import PairwiseOperators
 from repro.trees.registry import make_provider
 
-_SHAPE = (40, 40, 40)
-_RANK = 16
+_SHAPE = (8, 8, 8) if BENCH_TINY else (40, 40, 40)
+_RANK = 4 if BENCH_TINY else 16
 
 
 def _sweep(provider):

@@ -8,8 +8,6 @@ per-sweep flops of the actual engines on a small tensor.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.costs.mttkrp_costs import dt_costs, msdt_costs
 from repro.experiments.reporting import format_table
 from repro.experiments.table1 import measured_mttkrp_flops_per_sweep, table1_rows

@@ -15,6 +15,10 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: tiny-workload mode for the CI bench-smoke job: catches import/runtime rot
+#: without timing noise.  Any value other than "" / "0" enables it.
+BENCH_TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
 
 def save_report(name: str, text: str) -> Path:
     """Write a plain-text report for one benchmark artifact and echo it."""

@@ -25,7 +25,7 @@ def _show(label: str, curves) -> None:
           f"{row['n_pp_approx']} approximated; per-sweep times "
           f"{row['t_als'] * 1e3:.2f} / {row['t_pp_init'] * 1e3:.2f} / "
           f"{row['t_pp_approx'] * 1e3:.2f} ms")
-    print(f"  PP speed-up over DT to the common fitness: "
+    print("  PP speed-up over DT to the common fitness: "
           f"{curves.pp_speedup_to_common_fitness(margin=0.01):.2f}x")
 
 

@@ -3,7 +3,8 @@ perturbation and multi-sweep dimension tree" (Ma & Solomonik, IPDPS 2021).
 
 The package provides:
 
-* a dense tensor-algebra substrate (:mod:`repro.tensor`),
+* a dense tensor-algebra substrate (:mod:`repro.tensor`) whose contractions
+  all route through a process-wide plan-caching engine (:mod:`repro.contract`),
 * an in-process simulated BSP machine with MPI-style collectives and an
   alpha-beta-gamma-nu cost model (:mod:`repro.machine`, :mod:`repro.comm`,
   :mod:`repro.grid`, :mod:`repro.distributed`),
@@ -29,8 +30,10 @@ True
 """
 
 from repro._version import __version__
+from repro.contract import ContractionEngine, default_engine
 from repro.core.cp_als import cp_als
 from repro.core.pp_cp_als import pp_cp_als
+from repro.core.multi_start import MultiStartResult, multi_start, start_seeds
 from repro.core.parallel_cp_als import parallel_cp_als
 from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
 from repro.core.results import ALSResult, SweepRecord
@@ -47,6 +50,11 @@ __all__ = [
     "__version__",
     "cp_als",
     "pp_cp_als",
+    "multi_start",
+    "MultiStartResult",
+    "start_seeds",
+    "ContractionEngine",
+    "default_engine",
     "parallel_cp_als",
     "parallel_pp_cp_als",
     "ALSResult",

@@ -1,0 +1,32 @@
+"""Shared contraction engine: cached einsum plans for every hot kernel.
+
+All dense contractions of the reproduction (MTTKRP, dimension-tree TTM/mTTV,
+PP corrections, Gram matrices) route through one process-wide
+:class:`~repro.contract.engine.ContractionEngine`, so the ``np.einsum_path``
+search runs once per (spec, shapes, dtypes) key instead of once per call, and
+per-spec hit/flop statistics are available for cost reports.
+"""
+
+from repro.contract.engine import (
+    ContractionEngine,
+    PlanInfo,
+    SpecStats,
+    contract,
+    default_engine,
+    plan,
+    reset_default_engine,
+    resolve_engine,
+    subscript_letters,
+)
+
+__all__ = [
+    "ContractionEngine",
+    "PlanInfo",
+    "SpecStats",
+    "contract",
+    "default_engine",
+    "plan",
+    "reset_default_engine",
+    "resolve_engine",
+    "subscript_letters",
+]

@@ -9,6 +9,9 @@
   simulated processor grid with local-MTTKRP dimension trees.
 * :func:`repro.core.parallel_pp_cp_als.parallel_pp_cp_als` — Algorithm 4, the
   communication-efficient parallel PP algorithm contributed by the paper.
+* :func:`repro.core.multi_start.multi_start` — batched best-of-K multi-start
+  driver over either sequential algorithm, with deterministic per-start seeds
+  and optional worker threads sharing one contraction-plan cache.
 """
 
 from repro.core.options import ALSOptions, PPOptions, ParallelOptions
@@ -23,6 +26,7 @@ from repro.core.pp_corrections import (
 )
 from repro.core.cp_als import cp_als
 from repro.core.pp_cp_als import pp_cp_als
+from repro.core.multi_start import MultiStartResult, multi_start, start_seeds
 from repro.core.parallel_cp_als import parallel_cp_als
 from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
 
@@ -43,6 +47,9 @@ __all__ = [
     "pp_step_within_tolerance",
     "cp_als",
     "pp_cp_als",
+    "multi_start",
+    "MultiStartResult",
+    "start_seeds",
     "parallel_cp_als",
     "parallel_pp_cp_als",
 ]

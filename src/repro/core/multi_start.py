@@ -1,0 +1,224 @@
+"""Batched multi-start CP-ALS / PP-CP-ALS driver.
+
+CP-ALS converges to a local optimum of a non-convex objective, so production
+use runs ``K`` random initializations and keeps the best fit.  The starts are
+embarrassingly parallel *and* share all contraction structure: every start
+contracts the same tensor with factor matrices of the same shapes, so the
+plan cache of the shared :class:`~repro.contract.ContractionEngine` is warmed
+by the first start and hit by all others.  The driver runs the starts
+sequentially by default and on a thread pool with ``n_workers > 1`` (the
+engine is thread-safe and NumPy releases the GIL inside the contractions).
+
+Per-start seeds are spawned deterministically from one root seed with
+``np.random.SeedSequence.spawn``, so results are reproducible bit-for-bit
+regardless of ``n_workers`` and match a manual loop of single starts that
+uses :func:`start_seeds`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.cp_als import cp_als
+from repro.core.pp_cp_als import pp_cp_als
+from repro.core.results import ALSResult
+from repro.machine.cost_tracker import CostTracker
+from repro.utils.validation import check_positive_int
+
+__all__ = ["start_seeds", "multi_start", "MultiStartResult"]
+
+_ALGORITHMS = {"als": cp_als, "pp": pp_cp_als}
+
+
+def start_seeds(seed: int | None, n_starts: int) -> list[np.random.SeedSequence]:
+    """Deterministic per-start seed sequences spawned from one root ``seed``.
+
+    ``multi_start(..., seed=s)`` uses exactly these sequences in start order,
+    so a manual loop over ``start_seeds(s, k)`` reproduces its starts.
+    """
+    n_starts = check_positive_int(n_starts, "n_starts")
+    return list(np.random.SeedSequence(seed).spawn(n_starts))
+
+
+@dataclass
+class MultiStartResult:
+    """Outcome of a best-of-K multi-start run."""
+
+    best_index: int
+    results: List[ALSResult]
+    elapsed_seconds: float
+    algorithm: str = "als"
+    n_workers: int = 1
+    options: dict = field(default_factory=dict)
+
+    @property
+    def best(self) -> ALSResult:
+        """The result with the highest fitness (ties: lowest start index)."""
+        return self.results[self.best_index]
+
+    @property
+    def fitness(self) -> float:
+        return self.best.fitness
+
+    @property
+    def n_starts(self) -> int:
+        return len(self.results)
+
+    def fitnesses(self) -> list[float]:
+        """Final fitness of every start, in start order."""
+        return [r.fitness for r in self.results]
+
+    def trajectory_table(self) -> list[dict]:
+        """One row per (start, sweep): the full fitness trajectory table.
+
+        Rows carry ``start``, ``sweep``, ``type``, ``fitness``, ``residual``
+        and ``cumulative_seconds`` — everything a fitness-vs-time plot over
+        all starts needs.
+        """
+        rows: list[dict] = []
+        for start_index, result in enumerate(self.results):
+            for record in result.sweeps:
+                rows.append(
+                    {
+                        "start": start_index,
+                        "sweep": record.index,
+                        "type": record.sweep_type,
+                        "fitness": record.fitness,
+                        "residual": record.residual,
+                        "cumulative_seconds": record.cumulative_seconds,
+                    }
+                )
+        return rows
+
+    def summary_table(self) -> list[dict]:
+        """One row per start: final fitness, sweep count, convergence, time."""
+        return [
+            {
+                "start": k,
+                "fitness": r.fitness,
+                "residual": r.residual,
+                "n_sweeps": r.n_sweeps,
+                "converged": r.converged,
+                "elapsed_seconds": r.elapsed_seconds,
+                "best": k == self.best_index,
+            }
+            for k, r in enumerate(self.results)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiStartResult(n_starts={self.n_starts}, best_index={self.best_index}, "
+            f"fitness={self.fitness:.4f})"
+        )
+
+
+def _best_index(results: List[ALSResult]) -> int:
+    def score(result: ALSResult) -> float:
+        # a diverged start can report NaN fitness; NaN comparisons are always
+        # False, which would make it unbeatable — rank it below everything
+        fitness = result.fitness
+        return fitness if np.isfinite(fitness) else float("-inf")
+
+    best = 0
+    for k in range(1, len(results)):
+        if score(results[k]) > score(results[best]):
+            best = k
+    return best
+
+
+def multi_start(
+    tensor: np.ndarray,
+    rank: int,
+    n_starts: int = 8,
+    algorithm: str = "als",
+    seed: int | None = None,
+    n_workers: int = 1,
+    tracker: CostTracker | None = None,
+    **solver_kwargs,
+) -> MultiStartResult:
+    """Best-of-``n_starts`` CP decomposition with shared contraction plans.
+
+    Parameters
+    ----------
+    tensor, rank:
+        As in :func:`~repro.core.cp_als.cp_als`.
+    n_starts:
+        Number of independent random initializations ``K``.
+    algorithm:
+        ``"als"`` (:func:`~repro.core.cp_als.cp_als`) or ``"pp"``
+        (:func:`~repro.core.pp_cp_als.pp_cp_als`).
+    seed:
+        Root seed; per-start seeds come from :func:`start_seeds` so the run is
+        deterministic for any ``n_workers``.
+    n_workers:
+        Worker threads for the embarrassingly parallel starts (1 = sequential).
+    tracker:
+        Optional :class:`CostTracker`; each start accumulates into a private
+        tracker (the class is not thread-safe) and all of them are merged into
+        this one in start order after the run.
+    solver_kwargs:
+        Forwarded to the underlying solver (``n_sweeps``, ``tol``, ``mttkrp``,
+        ``pp_tol``, ...).
+
+    Returns
+    -------
+    :class:`MultiStartResult` with the best-fitness result and the per-start
+    fitness trajectory table.
+    """
+    n_starts = check_positive_int(n_starts, "n_starts")
+    n_workers = check_positive_int(n_workers, "n_workers")
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(_ALGORITHMS)}"
+        )
+    if "initial_factors" in solver_kwargs:
+        # seed/tracker are named multi_start parameters and can never reach
+        # solver_kwargs; only this one needs an explicit guard
+        raise TypeError(
+            "multi_start draws every start's initialization from its spawned "
+            "seed; explicit initial_factors are not supported (run the solver "
+            "directly for a single chosen initialization)"
+        )
+    solver = _ALGORITHMS[algorithm]
+    seeds = start_seeds(seed, n_starts)
+    trackers = [CostTracker() for _ in range(n_starts)]
+
+    def _run(k: int) -> ALSResult:
+        return solver(
+            tensor,
+            rank,
+            seed=np.random.default_rng(seeds[k]),
+            tracker=trackers[k],
+            **solver_kwargs,
+        )
+
+    run_start = time.perf_counter()
+    if n_workers == 1 or n_starts == 1:
+        results = [_run(k) for k in range(n_starts)]
+    else:
+        with ThreadPoolExecutor(max_workers=min(n_workers, n_starts)) as pool:
+            results = list(pool.map(_run, range(n_starts)))
+    elapsed = time.perf_counter() - run_start
+
+    if tracker is not None:
+        for local in trackers:
+            tracker.merge(local)
+
+    return MultiStartResult(
+        best_index=_best_index(results),
+        results=results,
+        elapsed_seconds=elapsed,
+        algorithm=algorithm,
+        n_workers=n_workers,
+        options={
+            "rank": rank,
+            "n_starts": n_starts,
+            "seed": seed,
+            **solver_kwargs,
+        },
+    )

@@ -16,16 +16,19 @@ from typing import Sequence
 import numpy as np
 import scipy.linalg
 
+from repro.contract import resolve_engine
 from repro.tensor.products import hadamard_all_but
 
 __all__ = ["gram_matrix", "gamma_chain", "solve_normal_equations"]
 
 
-def gram_matrix(factor: np.ndarray, tracker=None, category: str = "others") -> np.ndarray:
+def gram_matrix(factor: np.ndarray, tracker=None, category: str = "others",
+                engine=None) -> np.ndarray:
     """Gram matrix ``S = A^T A`` of a factor."""
     factor = np.asarray(factor)
+    eng = resolve_engine(engine)
     start = time.perf_counter()
-    gram = factor.T @ factor
+    gram = eng.contract("ar,as->rs", factor, factor)
     elapsed = time.perf_counter() - start
     if tracker is not None:
         rows, rank = factor.shape

@@ -17,6 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.contract import resolve_engine
+
 __all__ = [
     "delta_gram",
     "first_order_correction",
@@ -25,7 +27,8 @@ __all__ = [
 ]
 
 
-def delta_gram(factor: np.ndarray, delta_factor: np.ndarray, tracker=None) -> np.ndarray:
+def delta_gram(factor: np.ndarray, delta_factor: np.ndarray, tracker=None,
+               engine=None) -> np.ndarray:
     """``dS^(i) = A^(i)^T dA^(i)`` (Eq. 8)."""
     factor = np.asarray(factor)
     delta_factor = np.asarray(delta_factor)
@@ -33,8 +36,9 @@ def delta_gram(factor: np.ndarray, delta_factor: np.ndarray, tracker=None) -> np
         raise ValueError(
             f"factor and delta factor shapes differ: {factor.shape} vs {delta_factor.shape}"
         )
+    eng = resolve_engine(engine)
     start = time.perf_counter()
-    out = factor.T @ delta_factor
+    out = eng.contract("ar,as->rs", factor, delta_factor)
     elapsed = time.perf_counter() - start
     if tracker is not None:
         rows, rank = factor.shape
@@ -48,6 +52,8 @@ def first_order_correction(
     delta_factor: np.ndarray,
     tracker=None,
     category: str = "mttv",
+    engine=None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """``U^(n,i)(x, k) = sum_y M_p^(n,i)(x, y, k) dA^(i)(y, k)`` (Eq. 6).
 
@@ -64,8 +70,9 @@ def first_order_correction(
             f"delta factor shape {delta_factor.shape} incompatible with operator "
             f"shape {pair_operator.shape}"
         )
+    eng = resolve_engine(engine)
     start = time.perf_counter()
-    out = np.einsum("xyk,yk->xk", pair_operator, delta_factor)
+    out = eng.contract("xyk,yk->xk", pair_operator, delta_factor, out=out)
     elapsed = time.perf_counter() - start
     if tracker is not None:
         tracker.add_flops(category, 2 * pair_operator.size)
@@ -80,6 +87,7 @@ def second_order_correction(
     grams: Sequence[np.ndarray],
     delta_grams: Sequence[np.ndarray],
     tracker=None,
+    engine=None,
 ) -> np.ndarray:
     """``V^(n)`` of Eq. (7): the second-order subproblem correction.
 
@@ -113,7 +121,8 @@ def second_order_correction(
                 hadamard_flops += rank * rank
             accumulator += term
             hadamard_flops += rank * rank
-    correction = factor @ accumulator
+    eng = resolve_engine(engine)
+    correction = eng.contract("ir,rs->is", factor, accumulator)
     elapsed = time.perf_counter() - start
     if tracker is not None:
         tracker.add_flops("hadamard", hadamard_flops)

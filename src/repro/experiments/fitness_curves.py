@@ -10,7 +10,6 @@ the columns of Table IV.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

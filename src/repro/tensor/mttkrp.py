@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.contract import resolve_engine
 from repro.tensor.products import khatri_rao
 from repro.tensor.unfold import unfold
 from repro.utils.validation import check_factor_matrices, check_mode
@@ -40,6 +41,8 @@ def mttkrp(
     mode: int,
     tracker=None,
     category: str = "mttkrp",
+    engine=None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Exact MTTKRP ``M^(mode) = T_(mode) P^(mode)`` computed with one einsum.
 
@@ -63,8 +66,9 @@ def mttkrp(
         operands.append(factors[j])
         spec_parts.append(subs[j] + "r")
     spec = ",".join(spec_parts) + "->" + subs[mode] + "r"
+    eng = resolve_engine(engine)
     start = time.perf_counter()
-    out = np.einsum(spec, *operands, optimize=True)
+    out = eng.contract(spec, *operands, out=out)
     elapsed = time.perf_counter() - start
     if tracker is not None:
         tracker.add_flops(category, 2 * tensor.size * rank)
@@ -79,6 +83,7 @@ def mttkrp_unfolding(
     mode: int,
     tracker=None,
     category: str = "mttkrp",
+    engine=None,
 ) -> np.ndarray:
     """Textbook MTTKRP via explicit unfolding and Khatri-Rao product.
 
@@ -92,8 +97,8 @@ def mttkrp_unfolding(
     mode = check_mode(mode, order)
     factors = check_factor_matrices(factors, shape=tensor.shape)
     others = [factors[j] for j in range(order) if j != mode]
-    kr = khatri_rao(others, tracker=tracker, category=category)
-    out = unfold(tensor, mode) @ kr
+    kr = khatri_rao(others, tracker=tracker, category=category, engine=engine)
+    out = resolve_engine(engine).contract("ab,br->ar", unfold(tensor, mode), kr)
     if tracker is not None:
         rank = factors[0].shape[1]
         tracker.add_flops(category, 2 * tensor.size * rank)
@@ -107,6 +112,7 @@ def partial_mttkrp(
     keep_modes: Sequence[int],
     tracker=None,
     category: str = "mttkrp",
+    engine=None,
 ) -> np.ndarray:
     """Partially contracted MTTKRP intermediate ``M^(i1,...,im)`` (Eq. 4).
 
@@ -137,7 +143,8 @@ def partial_mttkrp(
         spec_parts.append(subs[j] + "r")
     out_spec = "".join(subs[m] for m in keep) + "r"
     spec = ",".join(spec_parts) + "->" + out_spec
-    out = np.einsum(spec, *operands, optimize=True)
+    eng = resolve_engine(engine)
+    out = eng.contract(spec, *operands)
     if tracker is not None:
         tracker.add_flops(category, 2 * tensor.size * rank)
         tracker.add_vertical_words(tensor.size + out.size)

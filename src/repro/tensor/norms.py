@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.contract import resolve_engine
 from repro.tensor.products import hadamard_all_but
 
 __all__ = [
@@ -40,13 +41,14 @@ def tensor_norm(tensor: np.ndarray) -> float:
     return float(np.linalg.norm(np.asarray(tensor).ravel()))
 
 
-def inner_product(a: np.ndarray, b: np.ndarray) -> float:
+def inner_product(a: np.ndarray, b: np.ndarray, engine=None) -> float:
     """Frobenius inner product of two equal-shaped arrays."""
     a = np.asarray(a)
     b = np.asarray(b)
     if a.shape != b.shape:
         raise ValueError(f"inner_product shapes differ: {a.shape} vs {b.shape}")
-    return float(np.dot(a.ravel(), b.ravel()))
+    eng = resolve_engine(engine)
+    return float(eng.contract("a,a->", a.ravel(), b.ravel()))
 
 
 def cp_norm_squared(factors: Sequence[np.ndarray], grams: Sequence[np.ndarray] | None = None) -> float:

@@ -14,10 +14,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.contract import resolve_engine
+
 __all__ = ["khatri_rao", "kronecker", "hadamard_chain", "hadamard_all_but"]
 
 
-def khatri_rao(matrices: Sequence[np.ndarray], tracker=None, category: str = "khatri_rao") -> np.ndarray:
+def khatri_rao(matrices: Sequence[np.ndarray], tracker=None, category: str = "khatri_rao",
+               engine=None) -> np.ndarray:
     """Column-wise Khatri-Rao product of ``matrices``.
 
     Parameters
@@ -38,9 +41,10 @@ def khatri_rao(matrices: Sequence[np.ndarray], tracker=None, category: str = "kh
     rank = ranks.pop()
     if len(mats) == 1:
         return mats[0].copy()
+    eng = resolve_engine(engine)
 
     def _pair(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        out = np.einsum("ir,jr->ijr", a, b).reshape(-1, rank)
+        out = eng.contract("ir,jr->ijr", a, b).reshape(-1, rank)
         if tracker is not None:
             tracker.add_flops(category, a.shape[0] * b.shape[0] * rank)
         return out

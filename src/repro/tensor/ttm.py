@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.contract import resolve_engine, subscript_letters
 from repro.utils.validation import check_mode
 
 __all__ = ["ttm", "multi_ttm", "first_contraction"]
@@ -43,6 +44,7 @@ def ttm(
     transpose: bool = False,
     tracker=None,
     category: str = "ttm",
+    engine=None,
 ) -> np.ndarray:
     """Mode-``mode`` tensor-times-matrix product ``T x_mode M``.
 
@@ -57,8 +59,13 @@ def ttm(
         raise ValueError(
             f"matrix with {mat.shape[1]} columns cannot contract mode {mode} of size {tensor.shape[mode]}"
         )
+    subs = subscript_letters(tensor.ndim, exclude="J")
+    out_subs = list(subs)
+    out_subs[mode] = "J"
+    spec = f"{''.join(subs)},J{subs[mode]}->{''.join(out_subs)}"
+    eng = resolve_engine(engine)
     start = time.perf_counter()
-    out = np.moveaxis(np.tensordot(mat, tensor, axes=(1, mode)), 0, mode)
+    out = eng.contract(spec, tensor, mat)
     elapsed = time.perf_counter() - start
     _record(tracker, category, 2 * tensor.size * mat.shape[0], tensor.size + out.size, elapsed)
     return out
@@ -71,13 +78,15 @@ def multi_ttm(
     transpose: bool = False,
     tracker=None,
     category: str = "ttm",
+    engine=None,
 ) -> np.ndarray:
     """Apply :func:`ttm` along several modes in sequence."""
     if len(matrices) != len(modes):
         raise ValueError("multi_ttm requires one matrix per mode")
     out = np.asarray(tensor)
     for matrix, mode in zip(matrices, modes):
-        out = ttm(out, matrix, mode, transpose=transpose, tracker=tracker, category=category)
+        out = ttm(out, matrix, mode, transpose=transpose, tracker=tracker,
+                  category=category, engine=engine)
     return out
 
 
@@ -87,6 +96,7 @@ def first_contraction(
     mode: int,
     tracker=None,
     category: str = "ttm",
+    engine=None,
 ) -> np.ndarray:
     """Contract mode ``mode`` of ``tensor`` with factor matrix ``factor``.
 
@@ -107,8 +117,12 @@ def first_contraction(
         raise ValueError(
             f"factor shape {factor.shape} cannot contract mode {mode} of size {tensor.shape[mode]}"
         )
+    subs = subscript_letters(tensor.ndim, exclude="R")
+    kept = "".join(s for i, s in enumerate(subs) if i != mode)
+    spec = f"{''.join(subs)},{subs[mode]}R->{kept}R"
+    eng = resolve_engine(engine)
     start = time.perf_counter()
-    out = np.tensordot(tensor, factor, axes=(mode, 0))
+    out = eng.contract(spec, tensor, factor)
     elapsed = time.perf_counter() - start
     _record(tracker, category, 2 * tensor.size * factor.shape[1], tensor.size + out.size, elapsed)
     return out

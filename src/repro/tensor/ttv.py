@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.contract import resolve_engine, subscript_letters
 from repro.utils.validation import check_mode
 
 __all__ = ["ttv", "multi_ttv", "contract_intermediate_mode"]
@@ -34,6 +35,7 @@ def ttv(
     mode: int,
     tracker=None,
     category: str = "mttv",
+    engine=None,
 ) -> np.ndarray:
     """Contract mode ``mode`` of ``tensor`` with ``vector`` (removing the mode)."""
     tensor = np.asarray(tensor)
@@ -43,8 +45,13 @@ def ttv(
         raise ValueError(
             f"vector of length {vector.shape} cannot contract mode {mode} of size {tensor.shape[mode]}"
         )
+    subs = subscript_letters(tensor.ndim)
+    spec = "{},{}->{}".format(
+        "".join(subs), subs[mode], "".join(s for i, s in enumerate(subs) if i != mode)
+    )
+    eng = resolve_engine(engine)
     start = time.perf_counter()
-    out = np.tensordot(tensor, vector, axes=(mode, 0))
+    out = eng.contract(spec, tensor, vector)
     elapsed = time.perf_counter() - start
     _record(tracker, category, 2 * tensor.size, tensor.size + out.size, elapsed)
     return out
@@ -56,6 +63,7 @@ def multi_ttv(
     modes: Sequence[int],
     tracker=None,
     category: str = "mttv",
+    engine=None,
 ) -> np.ndarray:
     """Contract several modes with vectors, highest mode first so indices stay valid."""
     if len(vectors) != len(modes):
@@ -67,7 +75,7 @@ def multi_ttv(
     pairs = sorted(zip(normalized, vectors), key=lambda p: -p[0])
     out = np.asarray(tensor)
     for mode, vec in pairs:
-        out = ttv(out, vec, mode, tracker=tracker, category=category)
+        out = ttv(out, vec, mode, tracker=tracker, category=category, engine=engine)
     return out
 
 
@@ -77,6 +85,7 @@ def contract_intermediate_mode(
     axis: int,
     tracker=None,
     category: str = "mttv",
+    engine=None,
 ) -> np.ndarray:
     """Batched multi-TTV step on a rank-carrying intermediate.
 
@@ -104,9 +113,13 @@ def contract_intermediate_mode(
             f"factor shape {factor.shape} incompatible with intermediate axis {axis} "
             f"(size {intermediate.shape[axis]}) and rank {rank}"
         )
+    subs = subscript_letters(intermediate.ndim)
+    rank_sub = subs[-1]
+    kept = "".join(s for i, s in enumerate(subs[:-1]) if i != axis)
+    spec = f"{''.join(subs)},{subs[axis]}{rank_sub}->{kept}{rank_sub}"
+    eng = resolve_engine(engine)
     start = time.perf_counter()
-    moved = np.moveaxis(intermediate, axis, -2)
-    out = np.einsum("...yr,yr->...r", moved, factor)
+    out = eng.contract(spec, intermediate, factor)
     elapsed = time.perf_counter() - start
     _record(tracker, category, 2 * intermediate.size, intermediate.size + out.size, elapsed)
     return out

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.contract import ContractionEngine, resolve_engine
 from repro.trees.cache import ContractionCache
 from repro.utils.validation import check_factor_matrices
 
@@ -32,6 +33,7 @@ class MTTKRPProvider(abc.ABC):
         factors: Sequence[np.ndarray],
         tracker=None,
         max_cache_bytes: int | None = None,
+        engine: ContractionEngine | None = None,
     ):
         self.tensor = np.asarray(tensor, dtype=np.float64)
         factors = check_factor_matrices(factors, shape=self.tensor.shape)
@@ -43,6 +45,7 @@ class MTTKRPProvider(abc.ABC):
         self.versions: list[int] = [0] * len(factors)
         self.tracker = tracker
         self.cache = ContractionCache(max_bytes=max_cache_bytes)
+        self._engine = engine
         self._update_clock = 0
         self._last_updated = [-1] * len(factors)
 
@@ -54,6 +57,13 @@ class MTTKRPProvider(abc.ABC):
     @property
     def rank(self) -> int:
         return self.factors[0].shape[1]
+
+    @property
+    def engine(self) -> ContractionEngine:
+        """The contraction engine in use: the injected one, else the current
+        process-wide default (resolved lazily so a ``reset_default_engine``
+        takes effect for existing providers too)."""
+        return resolve_engine(self._engine)
 
     def set_factor(self, mode: int, factor: np.ndarray) -> None:
         """Install the updated factor for ``mode`` and bump its version."""
@@ -93,9 +103,16 @@ class MTTKRPProvider(abc.ABC):
 
     # -- diagnostics -----------------------------------------------------------------
     def cache_stats(self) -> dict:
+        """Intermediate-cache counters plus the plan cache of ``self.engine``.
+
+        ``"plan_cache"`` reflects the whole engine this provider uses — the
+        process-wide default unless one was injected — so with the default
+        engine it aggregates over every provider in the process.
+        """
         return {
             "entries": len(self.cache),
             "bytes": self.cache.total_bytes,
             "hits": self.cache.hits,
             "misses": self.cache.misses,
+            "plan_cache": self.engine.cache_info(),
         }

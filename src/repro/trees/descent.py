@@ -80,6 +80,7 @@ def descend(
     tracker=None,
     ttm_category: str = "ttm",
     mttv_category: str = "mttv",
+    engine=None,
 ) -> np.ndarray:
     """Contract ``contraction_order`` away from a starting intermediate.
 
@@ -121,11 +122,11 @@ def descend(
         factor = factors[mode]
         if is_raw_tensor:
             array = first_contraction(array, factor, axis, tracker=tracker,
-                                      category=ttm_category)
+                                      category=ttm_category, engine=engine)
             is_raw_tensor = False
         else:
             array = contract_intermediate_mode(array, factor, axis, tracker=tracker,
-                                               category=mttv_category)
+                                               category=mttv_category, engine=engine)
         versions_used[mode] = versions[mode]
         remaining.pop(axis)
         if remaining:

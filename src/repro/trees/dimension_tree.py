@@ -52,4 +52,5 @@ class DimensionTreeMTTKRP(MTTKRPProvider):
             base_versions,
             order_list,
             tracker=self.tracker,
+            engine=self.engine,
         )

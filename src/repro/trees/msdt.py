@@ -58,6 +58,7 @@ class MultiSweepDimensionTree(MTTKRPProvider):
                 start.versions_used,
                 order_list,
                 tracker=self.tracker,
+                engine=self.engine,
             )
 
         # No valid ancestor: a first-level TTM is unavoidable.  Contract the
@@ -76,4 +77,5 @@ class MultiSweepDimensionTree(MTTKRPProvider):
             {},
             order_list,
             tracker=self.tracker,
+            engine=self.engine,
         )

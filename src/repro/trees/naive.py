@@ -22,7 +22,8 @@ class NaiveMTTKRP(MTTKRPProvider):
 
     def mttkrp(self, mode: int) -> np.ndarray:
         return mttkrp_einsum(self.tensor, self.factors, mode,
-                             tracker=self.tracker, category="ttm")
+                             tracker=self.tracker, category="ttm",
+                             engine=self.engine)
 
     def _on_factor_update(self, mode: int) -> None:  # no cache to maintain
         return None
@@ -40,7 +41,8 @@ class UnfoldingMTTKRP(MTTKRPProvider):
 
     def mttkrp(self, mode: int) -> np.ndarray:
         return mttkrp_unfolding(self.tensor, self.factors, mode,
-                                tracker=self.tracker, category="ttm")
+                                tracker=self.tracker, category="ttm",
+                                engine=self.engine)
 
     def _on_factor_update(self, mode: int) -> None:
         return None

@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.contract import resolve_engine
 from repro.trees.base import MTTKRPProvider
 from repro.trees.cache import ContractionCache
 from repro.trees.descent import ascending_order, descend
@@ -96,6 +97,7 @@ class PairwiseOperators:
         tracker=None,
         provider: MTTKRPProvider | None = None,
         max_cache_bytes: int | None = None,
+        engine=None,
     ) -> "PairwiseOperators":
         """Build all PP operators at the current ``factors`` (the checkpoint ``A_p``).
 
@@ -123,10 +125,13 @@ class PairwiseOperators:
             cache = provider.cache
             versions: Sequence[int] = provider.versions
             work_factors = provider.factors
+            if engine is None:
+                engine = provider.engine
         else:
             cache = ContractionCache(max_bytes=max_cache_bytes)
             versions = [0] * order
             work_factors = factors
+        engine = resolve_engine(engine)
 
         def _compute(targets: set[int]) -> np.ndarray:
             start = cache.find_valid(versions, targets)
@@ -149,6 +154,7 @@ class PairwiseOperators:
                 base_versions,
                 order_list,
                 tracker=tracker,
+                engine=engine,
             )
 
         pair_ops: dict[tuple[int, int], np.ndarray] = {}

@@ -34,15 +34,19 @@ def make_provider(
     factors: Sequence[np.ndarray],
     tracker=None,
     max_cache_bytes: int | None = None,
+    engine=None,
 ) -> MTTKRPProvider:
     """Construct the MTTKRP engine ``name`` for ``tensor`` and ``factors``.
 
     Accepted names: ``"naive"``, ``"unfolding"``, ``"dt"`` (alias
     ``"dimension_tree"``) and ``"msdt"`` (alias ``"multi_sweep"``).
+    ``engine`` is the shared :class:`~repro.contract.ContractionEngine` used
+    for every einsum the provider issues (defaults to the process-wide one).
     """
     key = name.lower().strip()
     if key not in PROVIDERS:
         raise ValueError(
             f"unknown MTTKRP engine {name!r}; available: {available_providers()}"
         )
-    return PROVIDERS[key](tensor, factors, tracker=tracker, max_cache_bytes=max_cache_bytes)
+    return PROVIDERS[key](tensor, factors, tracker=tracker,
+                          max_cache_bytes=max_cache_bytes, engine=engine)

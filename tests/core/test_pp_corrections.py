@@ -10,7 +10,7 @@ from repro.core.pp_corrections import (
     second_order_correction,
 )
 from repro.machine.cost_tracker import CostTracker
-from repro.tensor.mttkrp import mttkrp, partial_mttkrp
+from repro.tensor.mttkrp import mttkrp
 from repro.trees.pp_operators import PairwiseOperators
 
 

@@ -1,6 +1,5 @@
 """Tests for the logical processor grid."""
 
-import numpy as np
 import pytest
 
 from repro.grid.processor_grid import ProcessorGrid
