@@ -30,8 +30,10 @@ True
 """
 
 from repro._version import __version__
+from repro.backend import TensorBackend, is_sparse_tensor
 from repro.contract import ContractionEngine, default_engine
 from repro.core.cp_als import cp_als
+from repro.sparse import CooTensor, sparse_mttkrp, sparse_partial_mttkrp
 from repro.core.pp_cp_als import pp_cp_als
 from repro.core.multi_start import MultiStartResult, multi_start, start_seeds
 from repro.core.parallel_cp_als import parallel_cp_als
@@ -63,6 +65,11 @@ __all__ = [
     "PPOptions",
     "CPTensor",
     "random_cp_tensor",
+    "CooTensor",
+    "sparse_mttkrp",
+    "sparse_partial_mttkrp",
+    "TensorBackend",
+    "is_sparse_tensor",
     "fitness",
     "relative_residual",
     "MachineParams",

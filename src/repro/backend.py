@@ -1,0 +1,80 @@
+"""Tensor backend protocol: dense ndarrays and sparse ``CooTensor`` inputs.
+
+The drivers (:func:`~repro.core.cp_als.cp_als`,
+:func:`~repro.core.pp_cp_als.pp_cp_als`,
+:func:`~repro.core.multi_start.multi_start`) and the MTTKRP provider registry
+accept either a dense ``np.ndarray`` or any object implementing
+:class:`TensorBackend` — in practice :class:`repro.sparse.CooTensor`.  The
+protocol is deliberately tiny: shape/order/dtype introspection, the Frobenius
+norm (all Eq. (3) residual evaluation needs beyond the MTTKRP the sweep
+already produced), and an escape hatch to densify.
+
+:func:`check_tensor` is the backend-aware twin of
+:func:`repro.utils.validation.check_dense_tensor` and shares its ``dtype``
+escape hatch: the default normalizes to float64, an explicit dtype keeps the
+whole run (tensor, factors, contractions) in that precision.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.utils.validation import check_dense_tensor
+
+__all__ = ["TensorBackend", "is_sparse_tensor", "check_tensor", "to_dense"]
+
+
+@runtime_checkable
+class TensorBackend(Protocol):
+    """Minimal interface a non-dense tensor input must provide."""
+
+    @property
+    def shape(self) -> tuple[int, ...]: ...
+
+    @property
+    def ndim(self) -> int: ...
+
+    @property
+    def dtype(self) -> np.dtype: ...
+
+    def norm(self) -> float:
+        """Frobenius norm of the tensor."""
+        ...
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense ndarray (small sizes only)."""
+        ...
+
+
+def is_sparse_tensor(tensor) -> bool:
+    """True when ``tensor`` is a non-dense backend object (e.g. ``CooTensor``)."""
+    return not isinstance(tensor, np.ndarray) and isinstance(tensor, TensorBackend)
+
+
+def to_dense(tensor) -> np.ndarray:
+    """Dense ndarray view of any accepted tensor input."""
+    if is_sparse_tensor(tensor):
+        return tensor.to_dense()
+    return np.asarray(tensor)
+
+
+def check_tensor(tensor, min_order: int = 1, name: str = "tensor", dtype=None):
+    """Validate a dense-or-sparse tensor input, normalizing the dtype.
+
+    Dense inputs go through :func:`check_dense_tensor`; sparse backends are
+    order-checked and value-cast.  ``dtype=None`` (the default) normalizes to
+    float64; pass e.g. ``np.float32`` to keep the whole computation in single
+    precision.
+    """
+    if is_sparse_tensor(tensor):
+        if tensor.ndim < min_order:
+            raise ValueError(
+                f"{name} must have order >= {min_order}, got order {tensor.ndim}"
+            )
+        target = np.dtype(np.float64 if dtype is None else dtype)
+        if not np.issubdtype(target, np.floating):
+            raise ValueError(f"dtype must be floating, got {target}")
+        return tensor.astype(target)
+    return check_dense_tensor(tensor, min_order=min_order, name=name, dtype=dtype)

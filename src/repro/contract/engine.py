@@ -47,8 +47,8 @@ _ALPHABET = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
 _FLOP_RE = re.compile(r"Optimized FLOP count:\s*([0-9.eE+\-]+)")
 
-#: cache key: (spec, operand shapes, operand dtype strings)
-PlanKey = Tuple[str, Tuple[Tuple[int, ...], ...], Tuple[str, ...]]
+#: cache key: (spec, operand shapes, operand dtype strings, path-search strategy)
+PlanKey = Tuple[str, Tuple[Tuple[int, ...], ...], Tuple[str, ...], str]
 
 
 def subscript_letters(n: int, exclude: str = "") -> List[str]:
@@ -72,6 +72,10 @@ class PlanInfo:
     dtypes: Tuple[str, ...]
     path: list
     estimated_flops: float
+    #: path-search strategy that produced this plan ("optimal", "greedy", ...);
+    #: part of the cache key, so changing ``max_optimal_operands`` can never
+    #: serve a stale greedy plan where an optimal one is now expected
+    strategy: str = "optimal"
     description: str = ""
 
 
@@ -127,21 +131,30 @@ class ContractionEngine:
         self._lock = threading.Lock()
 
     # -- planning -----------------------------------------------------------
-    def _key(self, spec: str, operands: List[np.ndarray]) -> PlanKey:
+    def _strategy_for(self, n_operands: int) -> str:
+        """Path-search strategy used for a spec with ``n_operands`` operands."""
+        return self.optimize if n_operands <= self.max_optimal_operands else "greedy"
+
+    def _key(self, spec: str, operands: List[np.ndarray], strategy: str) -> PlanKey:
         return (
             spec,
             tuple(op.shape for op in operands),
             tuple(op.dtype.str for op in operands),
+            strategy,
         )
 
     def plan(self, spec: str, *operands: np.ndarray) -> PlanInfo:
         """Return the cached plan for ``spec`` applied to ``operands``.
 
         A cache miss runs ``np.einsum_path`` once and stores the result; every
-        later call with the same spec/shapes/dtypes is a hit.
+        later call with the same spec/shapes/dtypes is a hit.  The resolved
+        path-search strategy is part of the cache key, so an engine whose
+        ``optimize`` / ``max_optimal_operands`` settings changed re-plans
+        instead of serving a plan found under the old strategy.
         """
         ops = [np.asarray(op) for op in operands]
-        key = self._key(spec, ops)
+        strategy = self._strategy_for(len(ops))
+        key = self._key(spec, ops, strategy)
         with self._lock:
             stats = self._stats.setdefault(spec, SpecStats())
             info = self._plans.get(key)
@@ -149,14 +162,14 @@ class ContractionEngine:
                 stats.hits += 1
                 return info
             stats.misses += 1
-        optimize = self.optimize if len(ops) <= self.max_optimal_operands else "greedy"
-        path, description = np.einsum_path(spec, *ops, optimize=optimize)
+        path, description = np.einsum_path(spec, *ops, optimize=strategy)
         info = PlanInfo(
             spec=spec,
             shapes=key[1],
             dtypes=key[2],
             path=list(path),
             estimated_flops=_parse_flops(description),
+            strategy=strategy,
             # the ~1 KB einsum_path report is only needed for the flop parse;
             # retaining it per cached plan would grow memory for nothing
             description="",
@@ -214,10 +227,14 @@ class ContractionEngine:
             return {spec: SpecStats(**s.asdict()) for spec, s in self._stats.items()}
 
     def cache_info(self) -> dict:
-        """Aggregate plan-cache counters."""
+        """Aggregate plan-cache counters (including a per-strategy plan count)."""
         with self._lock:
+            by_strategy: Dict[str, int] = {}
+            for info in self._plans.values():
+                by_strategy[info.strategy] = by_strategy.get(info.strategy, 0) + 1
             return {
                 "plans": len(self._plans),
+                "plans_by_strategy": by_strategy,
                 "specs": len(self._stats),
                 "hits": sum(s.hits for s in self._stats.values()),
                 "misses": sum(s.misses for s in self._stats.values()),

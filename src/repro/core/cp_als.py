@@ -7,14 +7,14 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.initialization import init_factors
+from repro.core.initialization import prepare_als_inputs
 from repro.core.normal_equations import gamma_chain, gram_matrix, solve_normal_equations
 from repro.core.results import ALSResult, SweepRecord
 from repro.machine.cost_tracker import CostTracker
-from repro.tensor.norms import residual_from_mttkrp, tensor_norm
+from repro.tensor.norms import residual_from_mttkrp
 from repro.trees.base import MTTKRPProvider
 from repro.trees.registry import make_provider
-from repro.utils.validation import check_dense_tensor, check_factor_matrices, check_positive_int, check_rank
+from repro.utils.validation import check_positive_int, check_rank
 
 __all__ = ["cp_als", "run_regular_sweep"]
 
@@ -56,13 +56,16 @@ def cp_als(
     record_sweeps: bool = True,
     callback: Callable[[int, list[np.ndarray], float], None] | None = None,
     max_cache_bytes: int | None = None,
+    dtype: np.dtype | str | None = None,
 ) -> ALSResult:
     """CP decomposition via alternating least squares (Algorithm 1).
 
     Parameters
     ----------
     tensor:
-        Dense input tensor of order >= 2.
+        Input tensor of order >= 2: a dense ndarray or a sparse
+        :class:`repro.sparse.CooTensor` (the MTTKRP engine dispatches on the
+        backend; everything else of the sweep is factor-sized dense algebra).
     rank:
         CP rank ``R``.
     n_sweeps:
@@ -86,28 +89,28 @@ def cp_als(
     callback:
         Optional ``callback(sweep_index, factors, fitness)`` invoked after
         every sweep.
+    dtype:
+        Working floating dtype.  ``None`` (default) normalizes the tensor and
+        factors to float64; pass e.g. ``np.float32`` to run the whole
+        decomposition in single precision.
 
     Returns
     -------
     :class:`~repro.core.results.ALSResult`
     """
-    tensor = check_dense_tensor(tensor, min_order=2)
     rank = check_rank(rank)
     n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
     if tol < 0:
         raise ValueError("tol must be non-negative")
     tracker = tracker if tracker is not None else CostTracker()
-
-    if initial_factors is None:
-        factors = init_factors(tensor.shape, rank, seed=seed, method="uniform")
-    else:
-        factors = [np.array(f, dtype=np.float64, copy=True) for f in
-                   check_factor_matrices(initial_factors, shape=tensor.shape, rank=rank)]
+    tensor, factors, norm_t = prepare_als_inputs(
+        tensor, rank, min_order=2, dtype=dtype,
+        initial_factors=initial_factors, seed=seed,
+    )
 
     provider = make_provider(mttkrp, tensor, factors, tracker=tracker,
                              max_cache_bytes=max_cache_bytes)
     grams = [gram_matrix(f, tracker=tracker) for f in provider.factors]
-    norm_t = tensor_norm(tensor)
 
     records: list[SweepRecord] = []
     residual = 1.0
@@ -163,5 +166,6 @@ def cp_als(
             "n_sweeps": n_sweeps,
             "tol": tol,
             "mttkrp": mttkrp,
+            "dtype": str(tensor.dtype),
         },
     )

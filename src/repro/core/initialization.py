@@ -12,11 +12,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import check_tensor
+from repro.tensor.norms import tensor_norm
 from repro.tensor.unfold import unfold
 from repro.utils.random import as_rng
-from repro.utils.validation import check_rank
+from repro.utils.validation import check_factor_matrices, check_rank
 
-__all__ = ["init_factors"]
+__all__ = ["init_factors", "prepare_als_inputs"]
 
 
 def init_factors(
@@ -67,3 +69,44 @@ def init_factors(
             factors.append(factor)
         return factors
     raise ValueError(f"unknown initialization method {method!r}")
+
+
+def prepare_als_inputs(
+    tensor,
+    rank: int,
+    min_order: int,
+    dtype: np.dtype | str | None = None,
+    initial_factors: Sequence[np.ndarray] | None = None,
+    seed: int | np.random.Generator | None = None,
+):
+    """Shared driver prologue: validated tensor, working factors, tensor norm.
+
+    Used by :func:`~repro.core.cp_als.cp_als` and
+    :func:`~repro.core.pp_cp_als.pp_cp_als` so tensor/backend validation, the
+    dtype normalization of the factors and the zero-norm guard stay in one
+    place.  Returns ``(tensor, factors, norm_t)`` where the tensor is dense or
+    sparse (see :func:`repro.backend.check_tensor`), the factors are fresh
+    arrays in the tensor's dtype, and ``norm_t > 0``.
+    """
+    tensor = check_tensor(tensor, min_order=min_order, dtype=dtype)
+    if initial_factors is None:
+        factors = [np.asarray(f, dtype=tensor.dtype)
+                   for f in init_factors(tensor.shape, rank, seed=seed,
+                                         method="uniform")]
+    else:
+        checked = check_factor_matrices(initial_factors, shape=tensor.shape,
+                                        rank=rank, dtype=tensor.dtype)
+        # defensively copy only factors that still alias the caller's arrays
+        # (a dtype cast inside the validation already produced fresh ones)
+        factors = [np.array(f, copy=True)
+                   if np.may_share_memory(f, np.asarray(orig)) else f
+                   for f, orig in zip(checked, initial_factors)]
+    norm_t = tensor_norm(tensor)
+    if norm_t == 0.0:
+        # Eq. (2) divides by ||T||_F: without this guard an all-zero tensor
+        # produces NaN/inf residuals and a meaningless ``converged`` flag
+        raise ValueError(
+            "tensor has zero Frobenius norm; the relative residual of Eq. (2) "
+            "is undefined for an all-zero tensor"
+        )
+    return tensor, factors, norm_t

@@ -146,7 +146,9 @@ def multi_start(
     Parameters
     ----------
     tensor, rank:
-        As in :func:`~repro.core.cp_als.cp_als`.
+        As in :func:`~repro.core.cp_als.cp_als`; the tensor may be a dense
+        ndarray or a sparse :class:`repro.sparse.CooTensor` (every start then
+        runs the sparse MTTKRP engines against the shared plan cache).
     n_starts:
         Number of independent random initializations ``K``.
     algorithm:

@@ -23,7 +23,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.cp_als import run_regular_sweep
-from repro.core.initialization import init_factors
+from repro.core.initialization import prepare_als_inputs
 from repro.core.normal_equations import gamma_chain, gram_matrix, solve_normal_equations
 from repro.core.pp_corrections import (
     delta_gram,
@@ -33,10 +33,10 @@ from repro.core.pp_corrections import (
 )
 from repro.core.results import ALSResult, SweepRecord
 from repro.machine.cost_tracker import CostTracker
-from repro.tensor.norms import residual_from_mttkrp, tensor_norm
+from repro.tensor.norms import residual_from_mttkrp
 from repro.trees.pp_operators import PairwiseOperators
 from repro.trees.registry import make_provider
-from repro.utils.validation import check_dense_tensor, check_factor_matrices, check_positive_int, check_rank
+from repro.utils.validation import check_positive_int, check_rank
 
 __all__ = ["pp_cp_als"]
 
@@ -71,13 +71,15 @@ def pp_cp_als(
     callback: Callable[[int, list[np.ndarray], float], None] | None = None,
     max_pp_sweeps_per_phase: int = 200,
     max_cache_bytes: int | None = None,
+    dtype: np.dtype | str | None = None,
 ) -> ALSResult:
     """CP decomposition via pairwise-perturbation ALS (Algorithm 2).
 
     Parameters
     ----------
-    tensor, rank, tol, initial_factors, seed, tracker, record_sweeps, callback:
-        As in :func:`repro.core.cp_als.cp_als`.
+    tensor, rank, tol, initial_factors, seed, tracker, record_sweeps, callback, dtype:
+        As in :func:`repro.core.cp_als.cp_als` (the tensor may be a dense
+        ndarray or a sparse :class:`repro.sparse.CooTensor`).
     n_sweeps:
         Upper bound on the total number of sweeps of any type (the paper uses
         300 for the collinearity study).
@@ -90,7 +92,6 @@ def pp_cp_als(
     max_pp_sweeps_per_phase:
         Safety bound on consecutive approximated sweeps within one PP phase.
     """
-    tensor = check_dense_tensor(tensor, min_order=3)
     rank = check_rank(rank)
     n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
     if tol < 0:
@@ -98,18 +99,15 @@ def pp_cp_als(
     if not 0.0 < pp_tol < 1.0:
         raise ValueError("pp_tol must lie in (0, 1)")
     tracker = tracker if tracker is not None else CostTracker()
-
-    if initial_factors is None:
-        factors = init_factors(tensor.shape, rank, seed=seed, method="uniform")
-    else:
-        factors = [np.array(f, dtype=np.float64, copy=True) for f in
-                   check_factor_matrices(initial_factors, shape=tensor.shape, rank=rank)]
+    tensor, factors, norm_t = prepare_als_inputs(
+        tensor, rank, min_order=3, dtype=dtype,
+        initial_factors=initial_factors, seed=seed,
+    )
 
     provider = make_provider(mttkrp, tensor, factors, tracker=tracker,
                              max_cache_bytes=max_cache_bytes)
     order = provider.order
     grams = [gram_matrix(f, tracker=tracker) for f in provider.factors]
-    norm_t = tensor_norm(tensor)
 
     # Algorithm 2 line 2: dA^(i) <- A^(i), so the first iterations use exact sweeps.
     delta_factors = [f.copy() for f in provider.factors]
@@ -259,5 +257,6 @@ def pp_cp_als(
             "tol": tol,
             "pp_tol": pp_tol,
             "mttkrp": mttkrp,
+            "dtype": str(tensor.dtype),
         },
     )

@@ -11,6 +11,8 @@
   radiance cube replacing the "Souto wood pile" dataset.
 * :mod:`repro.data.lowrank` — generic exact-low-rank (plus optional noise)
   tensors used throughout the test suite.
+* :mod:`repro.data.sparse_synthetic` — sparse :class:`repro.sparse.CooTensor`
+  workloads at controlled density (sampled low-rank signal, Poisson counts).
 
 Every generator is deterministic given its ``seed`` and returns ``float64``
 dense arrays.  DESIGN.md documents why each substitution preserves the
@@ -22,6 +24,11 @@ from repro.data.collinearity import collinearity_factors, collinearity_tensor
 from repro.data.quantum_chemistry import density_fitting_tensor
 from repro.data.coil import coil_like_tensor
 from repro.data.hyperspectral import hyperspectral_tensor
+from repro.data.sparse_synthetic import (
+    sample_coordinates,
+    sparse_count_tensor,
+    sparse_low_rank_tensor,
+)
 
 __all__ = [
     "random_low_rank_tensor",
@@ -30,4 +37,7 @@ __all__ = [
     "density_fitting_tensor",
     "coil_like_tensor",
     "hyperspectral_tensor",
+    "sample_coordinates",
+    "sparse_count_tensor",
+    "sparse_low_rank_tensor",
 ]

@@ -35,6 +35,12 @@ def _mode_subscripts(order: int) -> list[str]:
     return list(_LETTERS[:order])
 
 
+def _working_dtype(tensor: np.ndarray):
+    """Factor dtype matching the tensor: its own floating dtype, else the
+    float64 normalization default (so float32 runs stay float32 end to end)."""
+    return tensor.dtype if np.issubdtype(tensor.dtype, np.floating) else None
+
+
 def mttkrp(
     tensor: np.ndarray,
     factors: Sequence[np.ndarray],
@@ -52,7 +58,8 @@ def mttkrp(
     tensor = np.asarray(tensor)
     order = tensor.ndim
     mode = check_mode(mode, order)
-    factors = check_factor_matrices(factors, shape=tensor.shape)
+    factors = check_factor_matrices(factors, shape=tensor.shape,
+                                    dtype=_working_dtype(tensor))
     if len(factors) != order:
         raise ValueError(f"expected {order} factors, got {len(factors)}")
     rank = factors[0].shape[1]
@@ -95,7 +102,8 @@ def mttkrp_unfolding(
     tensor = np.asarray(tensor)
     order = tensor.ndim
     mode = check_mode(mode, order)
-    factors = check_factor_matrices(factors, shape=tensor.shape)
+    factors = check_factor_matrices(factors, shape=tensor.shape,
+                                    dtype=_working_dtype(tensor))
     others = [factors[j] for j in range(order) if j != mode]
     kr = khatri_rao(others, tracker=tracker, category=category, engine=engine)
     out = resolve_engine(engine).contract("ab,br->ar", unfold(tensor, mode), kr)
@@ -126,7 +134,8 @@ def partial_mttkrp(
     """
     tensor = np.asarray(tensor)
     order = tensor.ndim
-    factors = check_factor_matrices(factors, shape=tensor.shape)
+    factors = check_factor_matrices(factors, shape=tensor.shape,
+                                    dtype=_working_dtype(tensor))
     keep = sorted({check_mode(m, order) for m in keep_modes})
     if len(keep) != len(list(keep_modes)):
         raise ValueError(f"keep_modes contains duplicates: {keep_modes}")

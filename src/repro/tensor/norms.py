@@ -36,8 +36,16 @@ __all__ = [
 ]
 
 
-def tensor_norm(tensor: np.ndarray) -> float:
-    """Frobenius norm of a dense tensor."""
+def tensor_norm(tensor) -> float:
+    """Frobenius norm of a dense tensor or any backend exposing ``.norm()``.
+
+    Sparse inputs (:class:`repro.sparse.CooTensor`) are handled without
+    densification through their own ``norm`` method.
+    """
+    if not isinstance(tensor, np.ndarray):
+        norm = getattr(tensor, "norm", None)
+        if callable(norm):
+            return float(norm())
     return float(np.linalg.norm(np.asarray(tensor).ravel()))
 
 
@@ -74,6 +82,8 @@ def relative_residual(tensor: np.ndarray, factors: Sequence[np.ndarray]) -> floa
     """Exact relative residual of Eq. (2), forming the dense reconstruction."""
     from repro.tensor.cp_format import reconstruct  # local import avoids a cycle
 
+    if not isinstance(tensor, np.ndarray) and hasattr(tensor, "to_dense"):
+        tensor = tensor.to_dense()
     tensor = np.asarray(tensor)
     approx = reconstruct(factors, shape=tensor.shape)
     denom = tensor_norm(tensor)

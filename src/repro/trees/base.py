@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import is_sparse_tensor
 from repro.contract import ContractionEngine, resolve_engine
 from repro.trees.cache import ContractionCache
 from repro.utils.validation import check_factor_matrices
@@ -22,7 +23,13 @@ __all__ = ["MTTKRPProvider"]
 
 
 class MTTKRPProvider(abc.ABC):
-    """Stateful MTTKRP engine bound to one tensor and one set of factors."""
+    """Stateful MTTKRP engine bound to one tensor and one set of factors.
+
+    ``tensor`` may be a dense ndarray (non-floating dtypes are promoted to
+    float64, floating dtypes — including float32 — are preserved) or a sparse
+    backend object such as :class:`repro.sparse.CooTensor`.  Factors are kept
+    in the tensor's dtype so no contraction silently promotes.
+    """
 
     #: registry name, overridden by subclasses
     name = "abstract"
@@ -35,8 +42,15 @@ class MTTKRPProvider(abc.ABC):
         max_cache_bytes: int | None = None,
         engine: ContractionEngine | None = None,
     ):
-        self.tensor = np.asarray(tensor, dtype=np.float64)
-        factors = check_factor_matrices(factors, shape=self.tensor.shape)
+        if is_sparse_tensor(tensor):
+            self.tensor = tensor
+        else:
+            arr = np.asarray(tensor)
+            if not np.issubdtype(arr.dtype, np.floating):
+                arr = arr.astype(np.float64)
+            self.tensor = np.ascontiguousarray(arr)
+        factors = check_factor_matrices(factors, shape=self.tensor.shape,
+                                        dtype=self.tensor.dtype)
         if len(factors) != self.tensor.ndim:
             raise ValueError(
                 f"expected {self.tensor.ndim} factors, got {len(factors)}"
@@ -59,6 +73,11 @@ class MTTKRPProvider(abc.ABC):
         return self.factors[0].shape[1]
 
     @property
+    def dtype(self) -> np.dtype:
+        """Working dtype of the tensor and (therefore) the factors."""
+        return self.tensor.dtype
+
+    @property
     def engine(self) -> ContractionEngine:
         """The contraction engine in use: the injected one, else the current
         process-wide default (resolved lazily so a ``reset_default_engine``
@@ -67,7 +86,7 @@ class MTTKRPProvider(abc.ABC):
 
     def set_factor(self, mode: int, factor: np.ndarray) -> None:
         """Install the updated factor for ``mode`` and bump its version."""
-        factor = np.asarray(factor, dtype=np.float64)
+        factor = np.asarray(factor, dtype=self.tensor.dtype)
         if factor.shape != self.factors[mode].shape:
             raise ValueError(
                 f"factor for mode {mode} must keep shape {self.factors[mode].shape}, "

@@ -21,7 +21,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.backend import is_sparse_tensor
 from repro.contract import resolve_engine
+from repro.sparse.mttkrp import sparse_mttkrp, sparse_partial_mttkrp
 from repro.trees.base import MTTKRPProvider
 from repro.trees.cache import ContractionCache
 from repro.trees.descent import ascending_order, descend
@@ -39,7 +41,8 @@ class PairwiseOperators:
         pair_ops: Mapping[tuple[int, int], np.ndarray],
         single_ops: Mapping[int, np.ndarray],
     ):
-        self.checkpoint_factors = [np.asarray(f, dtype=np.float64) for f in checkpoint_factors]
+        # preserve the caller's working dtype (float32 runs stay float32)
+        self.checkpoint_factors = [np.asarray(f) for f in checkpoint_factors]
         self.order = len(self.checkpoint_factors)
         self._pairs = dict(pair_ops)
         self._singles = dict(single_ops)
@@ -106,15 +109,65 @@ class PairwiseOperators:
         regular (DT/MSDT) sweep are amortized exactly as footnote 1 of the
         paper describes.  The provider's factors must already equal
         ``factors`` (the checkpoint is taken at the current iterate).
+
+        ``tensor`` may be a dense ndarray or a sparse
+        :class:`repro.sparse.CooTensor`; sparse inputs build every operator
+        through the ``O(nnz * R * N)`` gather/scatter kernels (no intermediate
+        sharing with the provider's cache — sparse trees are a ROADMAP item).
         """
-        tensor = np.asarray(tensor, dtype=np.float64)
+        sparse = is_sparse_tensor(tensor)
+        if not sparse:
+            tensor = np.asarray(tensor)
+            if not np.issubdtype(tensor.dtype, np.floating):
+                tensor = tensor.astype(np.float64)
         order = tensor.ndim
-        factors = check_factor_matrices(factors, shape=tensor.shape)
+        factors = check_factor_matrices(factors, shape=tensor.shape,
+                                        dtype=tensor.dtype)
         if order < 3:
             raise ValueError("pairwise perturbation requires tensors of order >= 3")
 
+        if sparse:
+            if provider is not None:
+                # no cache sharing on the sparse path (the provider only
+                # donates its engine), so shape compatibility is sufficient
+                if provider.tensor.shape != tensor.shape:
+                    raise ValueError("provider is bound to a different tensor")
+                if engine is None:
+                    engine = provider.engine
+            engine = resolve_engine(engine)
+            pair_ops = {
+                (i, j): sparse_partial_mttkrp(tensor, factors, (i, j),
+                                              tracker=tracker, engine=engine)
+                for i in range(order) for j in range(i + 1, order)
+            }
+            # each single operator is a cheap dense contraction of a pair
+            # operator (Eq. 4): M^(i) = M^(i,j) x_j A^(j) — no second
+            # O(nnz R N) pass over the nonzeros needed
+            single_ops: dict[int, np.ndarray] = {}
+            for n in range(order):
+                if n < order - 1:
+                    pair, other = pair_ops[(n, n + 1)], n + 1
+                    spec = "abr,br->ar"
+                else:
+                    pair, other = pair_ops[(n - 1, n)], n - 1
+                    spec = "abr,ar->br"
+                single_ops[n] = engine.contract(spec, pair, factors[other])
+            return cls([f.copy() for f in factors], pair_ops, single_ops)
+
         if provider is not None:
-            if provider.tensor is not tensor and provider.tensor.shape != tensor.shape:
+            # sharing the provider's intermediate cache is only sound when it
+            # was built from this very data — a same-shaped different tensor
+            # would silently mix cached contractions of the wrong data.  The
+            # provider may hold a normalized copy (dtype/contiguity), so fall
+            # back to a value comparison; PP-init already does O(size * R)
+            # work, so the O(size) check is negligible.  (No shares-memory
+            # shortcut: overlapping views of the same buffer can still hold
+            # different data.)
+            same = provider.tensor is tensor or (
+                provider.tensor.shape == tensor.shape
+                and np.array_equal(provider.tensor, tensor)
+            )
+            if not same:
                 raise ValueError("provider is bound to a different tensor")
             for a, b in zip(provider.factors, factors):
                 if a.shape != b.shape or not np.array_equal(a, b):

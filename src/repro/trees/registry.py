@@ -1,4 +1,4 @@
-"""Name-based construction of MTTKRP engines."""
+"""Name-based construction of MTTKRP engines (dense and sparse backends)."""
 
 from __future__ import annotations
 
@@ -6,12 +6,14 @@ from typing import Sequence, Type
 
 import numpy as np
 
+from repro.backend import is_sparse_tensor
 from repro.trees.base import MTTKRPProvider
 from repro.trees.dimension_tree import DimensionTreeMTTKRP
 from repro.trees.msdt import MultiSweepDimensionTree
 from repro.trees.naive import NaiveMTTKRP, UnfoldingMTTKRP
+from repro.trees.sparse import SparseCooMTTKRP, SparseUnfoldingMTTKRP
 
-__all__ = ["make_provider", "available_providers", "PROVIDERS"]
+__all__ = ["make_provider", "available_providers", "PROVIDERS", "SPARSE_PROVIDERS"]
 
 PROVIDERS: dict[str, Type[MTTKRPProvider]] = {
     "naive": NaiveMTTKRP,
@@ -22,9 +24,27 @@ PROVIDERS: dict[str, Type[MTTKRPProvider]] = {
     "multi_sweep": MultiSweepDimensionTree,
 }
 
+#: engines used when the tensor is a sparse backend object.  The dimension-tree
+#: names alias the recompute engine for now (sparse CSF-style amortization is a
+#: ROADMAP open item), so ``cp_als(..., mttkrp="msdt")`` — the drivers'
+#: defaults — work transparently on sparse inputs.
+SPARSE_PROVIDERS: dict[str, Type[MTTKRPProvider]] = {
+    "sparse": SparseCooMTTKRP,
+    "coo": SparseCooMTTKRP,
+    "naive": SparseCooMTTKRP,
+    "dt": SparseCooMTTKRP,
+    "dimension_tree": SparseCooMTTKRP,
+    "msdt": SparseCooMTTKRP,
+    "multi_sweep": SparseCooMTTKRP,
+    "unfolding": SparseUnfoldingMTTKRP,
+    "sparse-unfolding": SparseUnfoldingMTTKRP,
+}
 
-def available_providers() -> list[str]:
+
+def available_providers(sparse: bool = False) -> list[str]:
     """Canonical engine names accepted by :func:`make_provider`."""
+    if sparse:
+        return ["sparse", "unfolding", "naive", "dt", "msdt"]
     return ["naive", "unfolding", "dt", "msdt"]
 
 
@@ -38,15 +58,20 @@ def make_provider(
 ) -> MTTKRPProvider:
     """Construct the MTTKRP engine ``name`` for ``tensor`` and ``factors``.
 
-    Accepted names: ``"naive"``, ``"unfolding"``, ``"dt"`` (alias
-    ``"dimension_tree"``) and ``"msdt"`` (alias ``"multi_sweep"``).
-    ``engine`` is the shared :class:`~repro.contract.ContractionEngine` used
-    for every einsum the provider issues (defaults to the process-wide one).
+    ``tensor`` may be a dense ndarray or a :class:`repro.sparse.CooTensor`;
+    the same names dispatch to the matching backend implementation.  Dense
+    names: ``"naive"``, ``"unfolding"``, ``"dt"`` (alias ``"dimension_tree"``)
+    and ``"msdt"`` (alias ``"multi_sweep"``).  Sparse inputs additionally
+    accept ``"sparse"`` / ``"coo"`` explicitly.  ``engine`` is the shared
+    :class:`~repro.contract.ContractionEngine` used for every einsum the
+    provider issues (defaults to the process-wide one).
     """
     key = name.lower().strip()
-    if key not in PROVIDERS:
+    registry = SPARSE_PROVIDERS if is_sparse_tensor(tensor) else PROVIDERS
+    if key not in registry:
         raise ValueError(
-            f"unknown MTTKRP engine {name!r}; available: {available_providers()}"
+            f"unknown MTTKRP engine {name!r}; available: "
+            f"{available_providers(sparse=registry is SPARSE_PROVIDERS)}"
         )
-    return PROVIDERS[key](tensor, factors, tracker=tracker,
-                          max_cache_bytes=max_cache_bytes, engine=engine)
+    return registry[key](tensor, factors, tracker=tracker,
+                         max_cache_bytes=max_cache_bytes, engine=engine)

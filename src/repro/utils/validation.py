@@ -20,11 +20,19 @@ __all__ = [
 ]
 
 
-def check_dense_tensor(tensor: np.ndarray, min_order: int = 1, name: str = "tensor") -> np.ndarray:
+def check_dense_tensor(
+    tensor: np.ndarray,
+    min_order: int = 1,
+    name: str = "tensor",
+    dtype: np.dtype | str | None = None,
+) -> np.ndarray:
     """Validate that ``tensor`` is a dense floating point ndarray of order >= ``min_order``.
 
-    Returns the tensor converted to ``float64`` C-contiguous layout (a view when
-    possible, a copy otherwise).
+    Returns the tensor in C-contiguous layout (a view when possible, a copy
+    otherwise) normalized to ``dtype``.  The default (``dtype=None``)
+    normalizes to ``float64`` — float32/int inputs would otherwise silently
+    promote inside every downstream contraction; pass an explicit floating
+    ``dtype`` (e.g. ``np.float32``) to keep the computation in that precision.
     """
     arr = np.asarray(tensor)
     if arr.ndim < min_order:
@@ -33,11 +41,16 @@ def check_dense_tensor(tensor: np.ndarray, min_order: int = 1, name: str = "tens
         )
     if arr.size == 0:
         raise ValueError(f"{name} must be non-empty")
-    if not np.issubdtype(arr.dtype, np.floating):
-        arr = arr.astype(np.float64)
+    target = np.dtype(np.float64 if dtype is None else dtype)
+    if not np.issubdtype(target, np.floating):
+        raise ValueError(f"dtype must be a floating type, got {target}")
+    with np.errstate(over="ignore"):  # overflow is detected explicitly below
+        arr = np.ascontiguousarray(arr, dtype=target)
+    # validate AFTER the cast: narrowing (e.g. float64 -> float32) can
+    # overflow finite inputs to inf
     if not np.isfinite(arr).all():
         raise ValueError(f"{name} contains non-finite entries")
-    return np.ascontiguousarray(arr, dtype=np.float64)
+    return arr
 
 
 def check_factor_matrices(
@@ -45,19 +58,25 @@ def check_factor_matrices(
     shape: Sequence[int] | None = None,
     rank: int | None = None,
     name: str = "factors",
+    dtype: np.dtype | str | None = None,
 ) -> list[np.ndarray]:
     """Validate a list of CP factor matrices.
 
     Each factor must be a 2-D array with the same number of columns.  When
     ``shape`` is given, factor ``i`` must have ``shape[i]`` rows; when ``rank``
-    is given, every factor must have exactly ``rank`` columns.
+    is given, every factor must have exactly ``rank`` columns.  Factors are
+    cast to ``dtype`` (``float64`` when omitted, matching
+    :func:`check_dense_tensor`'s default normalization).
     """
     if len(factors) == 0:
         raise ValueError(f"{name} must contain at least one factor matrix")
+    target = np.dtype(np.float64 if dtype is None else dtype)
+    if not np.issubdtype(target, np.floating):
+        raise ValueError(f"dtype must be a floating type, got {target}")
     out: list[np.ndarray] = []
     ranks = set()
     for i, factor in enumerate(factors):
-        arr = np.asarray(factor, dtype=np.float64)
+        arr = np.asarray(factor, dtype=target)
         if arr.ndim != 2:
             raise ValueError(f"{name}[{i}] must be a matrix, got ndim={arr.ndim}")
         if shape is not None and arr.shape[0] != shape[i]:

@@ -121,12 +121,37 @@ class TestPlanCache:
         engine.clear()
         assert engine.cache_info() == {
             "plans": 0,
+            "plans_by_strategy": {},
             "specs": 0,
             "hits": 0,
             "misses": 0,
             "calls": 0,
             "estimated_flops": 0.0,
         }
+
+    def test_strategy_is_part_of_the_key(self):
+        """Changing ``max_optimal_operands`` must not serve stale greedy plans."""
+        rng = np.random.default_rng(40)
+        spec = "ab,bc,cd->ad"
+        ops = [rng.random((4, 4)) for _ in range(3)]
+
+        engine = ContractionEngine(max_optimal_operands=2)
+        greedy = engine.plan(spec, *ops)
+        assert greedy.strategy == "greedy"
+        assert engine.cache_info()["plans_by_strategy"] == {"greedy": 1}
+
+        engine.max_optimal_operands = 8
+        optimal = engine.plan(spec, *ops)
+        assert optimal.strategy == "optimal"
+        assert optimal is not greedy
+        assert engine.cache_info()["plans_by_strategy"] == {"greedy": 1, "optimal": 1}
+
+        # each strategy's plan is now a stable cache hit
+        assert engine.plan(spec, *ops) is optimal
+        engine.max_optimal_operands = 2
+        assert engine.plan(spec, *ops) is greedy
+        info = engine.cache_info()
+        assert info["plans"] == 2 and info["hits"] == 2
 
     def test_thread_safety_under_concurrent_contract(self):
         from concurrent.futures import ThreadPoolExecutor

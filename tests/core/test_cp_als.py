@@ -145,3 +145,71 @@ class TestValidation:
         tensor = np.full((3, 3, 3), np.nan)
         with pytest.raises(ValueError):
             cp_als(tensor, rank=2)
+
+
+class TestZeroNormGuard:
+    """Regression: an all-zero tensor used to yield NaN/inf residuals and a
+    garbage ``converged`` flag; it must be rejected explicitly."""
+
+    def test_all_zero_tensor_raises(self):
+        with pytest.raises(ValueError, match="zero Frobenius norm"):
+            cp_als(np.zeros((4, 4, 4)), rank=2, seed=0)
+
+    def test_all_zero_tensor_raises_for_every_engine(self):
+        for engine in ("naive", "unfolding", "dt", "msdt"):
+            with pytest.raises(ValueError, match="zero Frobenius norm"):
+                cp_als(np.zeros((3, 3, 3)), rank=2, seed=0, mttkrp=engine)
+
+    def test_nonzero_tensor_unaffected(self, small_tensor3):
+        result = cp_als(small_tensor3, rank=2, n_sweeps=2, tol=0.0, seed=0)
+        assert np.isfinite(result.residual)
+
+
+class TestDtypeNormalization:
+    """Regression: float32/int tensors silently promoted inside contractions;
+    the tensor dtype is now normalized (with an explicit escape hatch)."""
+
+    def test_int_tensor_normalized_to_float64(self):
+        tensor = np.arange(27).reshape(3, 3, 3) + 1
+        result = cp_als(tensor, rank=2, n_sweeps=3, tol=0.0, seed=0)
+        assert result.options["dtype"] == "float64"
+        assert all(f.dtype == np.float64 for f in result.factors)
+
+    def test_float32_normalized_to_float64_by_default(self, small_tensor3):
+        result = cp_als(small_tensor3.astype(np.float32), rank=2, n_sweeps=3,
+                        tol=0.0, seed=0)
+        assert result.options["dtype"] == "float64"
+        assert all(f.dtype == np.float64 for f in result.factors)
+
+    def test_float32_end_to_end_with_escape_hatch(self, lowrank_tensor3):
+        captured = []
+        result = cp_als(lowrank_tensor3.astype(np.float32), rank=4, n_sweeps=30,
+                        tol=0.0, seed=3, dtype=np.float32,
+                        callback=lambda s, factors, fit: captured.append(
+                            {f.dtype for f in factors}))
+        assert result.options["dtype"] == "float32"
+        assert all(f.dtype == np.float32 for f in result.factors)
+        # every intermediate iterate stayed in single precision
+        assert all(kinds == {np.dtype(np.float32)} for kinds in captured)
+        # and the decomposition still converges on an exactly low-rank tensor
+        assert result.fitness > 0.98
+
+    def test_float32_matches_float64_loosely(self, lowrank_tensor3):
+        from repro.core.initialization import init_factors
+
+        initial = init_factors(lowrank_tensor3.shape, 3, seed=5)
+        r64 = cp_als(lowrank_tensor3, 3, n_sweeps=5, tol=0.0,
+                     initial_factors=initial)
+        r32 = cp_als(lowrank_tensor3.astype(np.float32), 3, n_sweeps=5, tol=0.0,
+                     initial_factors=initial, dtype=np.float32)
+        assert r32.residual == pytest.approx(r64.residual, abs=1e-4)
+
+    def test_non_floating_dtype_rejected(self, small_tensor3):
+        with pytest.raises(ValueError, match="floating"):
+            cp_als(small_tensor3, rank=2, dtype=np.int32)
+
+    def test_narrowing_cast_overflow_rejected(self, small_tensor3):
+        tensor = small_tensor3.copy()
+        tensor[0, 0, 0] = 1e300  # finite in float64, inf in float32
+        with pytest.raises(ValueError, match="non-finite"):
+            cp_als(tensor, rank=2, dtype=np.float32)

@@ -113,3 +113,17 @@ class TestValidation:
     def test_negative_tol_raises(self, lowrank_tensor3):
         with pytest.raises(ValueError):
             pp_cp_als(lowrank_tensor3, rank=2, tol=-0.1)
+
+    def test_all_zero_tensor_raises(self):
+        with pytest.raises(ValueError, match="zero Frobenius norm"):
+            pp_cp_als(np.zeros((4, 4, 4)), rank=2, seed=0)
+
+    def test_float32_escape_hatch(self, lowrank_tensor3):
+        # pp_tol close to 1 forces real PP phases, so the float32 path is
+        # exercised through the operator builder, not just the exact sweeps
+        result = pp_cp_als(lowrank_tensor3.astype(np.float32), rank=3,
+                           n_sweeps=25, tol=0.0, pp_tol=0.7, seed=1,
+                           dtype=np.float32)
+        assert result.options["dtype"] == "float32"
+        assert all(f.dtype == np.float32 for f in result.factors)
+        assert any(s.sweep_type == "pp-approx" for s in result.sweeps)

@@ -1,0 +1,84 @@
+"""Tests of the sparse synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import sample_coordinates, sparse_count_tensor, sparse_low_rank_tensor
+from repro.sparse import CooTensor
+
+
+class TestSampleCoordinates:
+    def test_distinct_and_in_bounds(self):
+        coords = sample_coordinates((6, 5, 4), density=0.2, seed=0)
+        assert coords.shape == (round(0.2 * 120), 3)
+        assert coords.dtype == np.int64
+        assert (coords >= 0).all()
+        assert (coords < np.array([6, 5, 4])).all()
+        assert len(np.unique(np.ravel_multi_index(tuple(coords.T), (6, 5, 4)))) == len(coords)
+
+    def test_deterministic_given_seed(self):
+        a = sample_coordinates((8, 8, 8), density=0.1, seed=7)
+        b = sample_coordinates((8, 8, 8), density=0.1, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_full_density_covers_everything(self):
+        coords = sample_coordinates((3, 3), density=1.0, seed=1)
+        assert len(coords) == 9
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ValueError, match="density"):
+            sample_coordinates((4, 4), density=1.5)
+
+
+class TestSparseLowRank:
+    def test_matches_dense_cp_signal(self):
+        """Values at the sampled coordinates equal the dense CP reconstruction."""
+        shape, rank = (7, 6, 5), 3
+        coo = sparse_low_rank_tensor(shape, rank, density=0.3, noise=0.0, seed=3)
+        # rebuild the same factors the generator drew
+        rng = np.random.default_rng(3)
+        factors = [rng.random((s, rank)) for s in shape]
+        full = np.einsum("ar,br,cr->abc", *factors)
+        dense = coo.to_dense()
+        mask = dense != 0.0
+        np.testing.assert_allclose(dense[mask], full[mask], atol=1e-12)
+
+    def test_density_and_type(self):
+        coo = sparse_low_rank_tensor((10, 10, 10), rank=2, density=0.05, seed=4)
+        assert isinstance(coo, CooTensor)
+        assert coo.nnz == 50
+        assert coo.dtype == np.float64
+
+    def test_noise_scales_relative(self):
+        clean = sparse_low_rank_tensor((8, 8, 8), rank=2, density=0.2, seed=5)
+        noisy = sparse_low_rank_tensor((8, 8, 8), rank=2, density=0.2, noise=0.1, seed=5)
+        delta = np.linalg.norm(noisy.values - clean.values)
+        assert delta == pytest.approx(0.1 * np.linalg.norm(clean.values), rel=1e-10)
+
+    def test_normal_distribution_and_errors(self):
+        coo = sparse_low_rank_tensor((6, 6, 6), rank=2, density=0.1, seed=6,
+                                     distribution="normal")
+        assert coo.nnz > 0
+        with pytest.raises(ValueError, match="distribution"):
+            sparse_low_rank_tensor((6, 6), rank=2, density=0.1, distribution="bad")
+        with pytest.raises(ValueError, match="noise"):
+            sparse_low_rank_tensor((6, 6), rank=2, density=0.1, noise=-1.0)
+
+
+class TestSparseCounts:
+    def test_positive_integer_counts(self):
+        coo = sparse_count_tensor((9, 8, 7), density=0.1, rate=2.0, seed=8)
+        assert (coo.values >= 1.0).all()
+        np.testing.assert_array_equal(coo.values, np.round(coo.values))
+
+    def test_deterministic(self):
+        a = sparse_count_tensor((6, 6, 6), density=0.2, seed=9)
+        b = sparse_count_tensor((6, 6, 6), density=0.2, seed=9)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            sparse_count_tensor((4, 4), density=0.1, rate=-1.0)

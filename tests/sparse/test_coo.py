@@ -1,0 +1,150 @@
+"""Tests of the canonical COO tensor format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CooTensor
+from repro.tensor.unfold import unfold
+
+
+def _random_sparse_dense(shape, density=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.random(shape)
+    dense[rng.random(shape) >= density] = 0.0
+    return dense
+
+
+class TestConstruction:
+    def test_roundtrip_from_dense(self):
+        dense = _random_sparse_dense((6, 5, 4), seed=1)
+        coo = CooTensor.from_dense(dense)
+        assert coo.shape == (6, 5, 4)
+        assert coo.nnz == int(np.count_nonzero(dense))
+        np.testing.assert_array_equal(coo.to_dense(), dense)
+
+    def test_indices_are_sorted_and_int64(self):
+        rng = np.random.default_rng(2)
+        idx = rng.integers(0, 5, size=(40, 3))
+        vals = rng.random(40)
+        coo = CooTensor(idx, vals, (5, 5, 5))
+        assert coo.indices.dtype == np.int64
+        # lexicographic: linearized coordinates strictly increase
+        linear = coo.linearize([0, 1, 2])
+        assert (np.diff(linear) > 0).all()
+
+    def test_duplicates_are_summed(self):
+        idx = np.array([[1, 2], [0, 0], [1, 2], [1, 2]])
+        vals = np.array([1.0, 5.0, 2.0, 3.0])
+        coo = CooTensor(idx, vals, (3, 3))
+        assert coo.nnz == 2
+        dense = coo.to_dense()
+        assert dense[1, 2] == pytest.approx(6.0)
+        assert dense[0, 0] == pytest.approx(5.0)
+
+    def test_norm_is_exact_after_dedup(self):
+        idx = np.array([[0, 0], [0, 0], [1, 1]])
+        coo = CooTensor(idx, np.array([1.0, 2.0, 4.0]), (2, 2))
+        assert coo.norm() == pytest.approx(5.0)  # sqrt(3^2 + 4^2)
+
+    def test_empty_nnz_is_allowed(self):
+        coo = CooTensor(np.empty((0, 2), dtype=np.int64), np.empty(0), (4, 3))
+        assert coo.nnz == 0
+        assert coo.norm() == 0.0
+        np.testing.assert_array_equal(coo.to_dense(), np.zeros((4, 3)))
+
+    @pytest.mark.parametrize(
+        "idx",
+        [np.array([[5, 0]]), np.array([[-1, 0]]), np.array([[0, 3]])],
+        ids=["row-high", "negative", "col-high"],
+    )
+    def test_out_of_bounds_indices_rejected(self, idx):
+        with pytest.raises(ValueError, match="out of bounds"):
+            CooTensor(idx, np.ones(1), (5, 3))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="positive"):
+            CooTensor(np.empty((0, 1), dtype=np.int64), np.empty(0), (0,))
+        with pytest.raises(ValueError, match="integers"):
+            CooTensor(np.ones((2, 2)), np.ones(2), (3, 3))
+        with pytest.raises(ValueError, match="values"):
+            CooTensor(np.zeros((2, 2), dtype=np.int64), np.ones(3), (3, 3))
+        with pytest.raises(ValueError, match="non-finite"):
+            CooTensor(np.zeros((1, 2), dtype=np.int64), np.array([np.nan]), (3, 3))
+
+    def test_dtype_control(self):
+        coo = CooTensor(np.zeros((1, 2), dtype=np.int64), np.ones(1), (2, 2),
+                        dtype=np.float32)
+        assert coo.dtype == np.float32
+        back = coo.astype(np.float64)
+        assert back.dtype == np.float64
+        assert back.indices is coo.indices  # canonical data is shared, not re-sorted
+        assert coo.astype(np.float32) is coo
+        with pytest.raises(ValueError, match="floating"):
+            CooTensor(np.zeros((1, 2), dtype=np.int64), np.ones(1), (2, 2),
+                      dtype=np.int32)
+        with pytest.raises(ValueError, match="floating"):
+            coo.astype(np.int32)
+
+    def test_astype_overflow_to_inf_rejected(self):
+        coo = CooTensor(np.zeros((1, 2), dtype=np.int64), np.array([1e300]), (2, 2))
+        with pytest.raises(ValueError, match="non-finite"):
+            coo.astype(np.float32)
+
+
+class TestStatsAndHelpers:
+    def test_mode_nnz_and_empty_slices(self):
+        dense = np.zeros((4, 3, 2))
+        dense[0, 0, 0] = 1.0
+        dense[0, 2, 1] = 2.0
+        dense[3, 1, 0] = 3.0
+        coo = CooTensor.from_dense(dense)
+        np.testing.assert_array_equal(coo.mode_nnz(0), [2, 0, 0, 1])
+        np.testing.assert_array_equal(coo.empty_slices(0), [1, 2])
+        stats = coo.stats()
+        assert stats["nnz"] == 3
+        assert stats["modes"][0]["empty_slices"] == 2
+        assert stats["modes"][0]["max_slice_nnz"] == 2
+
+    def test_density_and_size(self):
+        dense = _random_sparse_dense((5, 5, 5), density=0.2, seed=3)
+        coo = CooTensor.from_dense(dense)
+        assert coo.size == 125
+        assert coo.density == pytest.approx(coo.nnz / 125)
+
+    def test_linearize_matches_unfold_columns(self):
+        """linearize(other modes) is exactly the unfold column index."""
+        dense = _random_sparse_dense((4, 3, 5), seed=4)
+        coo = CooTensor.from_dense(dense)
+        for mode in range(3):
+            others = [m for m in range(3) if m != mode]
+            mat = unfold(dense, mode)
+            rows = coo.indices[:, mode]
+            cols = coo.linearize(others)
+            np.testing.assert_allclose(mat[rows, cols], coo.values)
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([[0.5, 1e-12], [0.0, -2.0]])
+        coo = CooTensor.from_dense(dense, tol=1e-9)
+        assert coo.nnz == 2
+
+    def test_copy_is_independent(self):
+        coo = CooTensor.from_dense(np.eye(3))
+        dup = coo.copy()
+        dup.values[:] = 0.0
+        assert coo.norm() > 0.0
+
+
+def test_from_dense_rejects_nan():
+    """Regression: NaN fails the |x| > tol mask and used to be dropped silently."""
+    dense = np.array([[1.0, np.nan], [0.0, 2.0]])
+    with pytest.raises(ValueError, match="non-finite"):
+        CooTensor.from_dense(dense)
+
+
+def test_mode_nnz_rejects_out_of_range_mode():
+    coo = CooTensor.from_dense(np.eye(3))
+    with pytest.raises(ValueError, match="out of range"):
+        coo.mode_nnz(2)
+    np.testing.assert_array_equal(coo.mode_nnz(-1), coo.mode_nnz(1))

@@ -103,3 +103,20 @@ class TestPartialMTTKRP:
     def test_duplicate_keep_modes_raise(self, small_tensor3, factors3):
         with pytest.raises(ValueError):
             partial_mttkrp(small_tensor3, factors3, [0, 0])
+
+
+class TestDtypePreservation:
+    """Regression: the kernels used to re-cast float32 factors to float64,
+    silently promoting every contraction of a dtype=np.float32 run."""
+
+    def test_kernels_preserve_float32(self, rng):
+        tensor = rng.random((5, 4, 3)).astype(np.float32)
+        factors = [rng.random((s, 2)).astype(np.float32) for s in tensor.shape]
+        assert mttkrp(tensor, factors, 0).dtype == np.float32
+        assert mttkrp_unfolding(tensor, factors, 0).dtype == np.float32
+        assert partial_mttkrp(tensor, factors, [0, 2]).dtype == np.float32
+
+    def test_int_tensor_still_promotes_to_float64(self, rng):
+        tensor = rng.integers(0, 5, size=(4, 3, 2))
+        factors = [rng.random((s, 2)) for s in tensor.shape]
+        assert mttkrp(tensor, factors, 0).dtype == np.float64

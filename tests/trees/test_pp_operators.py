@@ -119,3 +119,57 @@ class TestConstructorValidation:
     def test_bad_pair_key_rejected(self, factors3):
         with pytest.raises(ValueError):
             PairwiseOperators(factors3, {(1, 0): np.zeros((6, 7, 4))}, {})
+
+
+class TestDtypePreservation:
+    def test_build_preserves_float32(self):
+        """Regression: build used to force float64, so dtype=np.float32 runs
+        silently did every PP phase in double precision (2x tensor memory)."""
+        rng = np.random.default_rng(50)
+        tensor = rng.random((5, 4, 3)).astype(np.float32)
+        factors = [rng.random((s, 2)).astype(np.float32) for s in tensor.shape]
+        ops = PairwiseOperators.build(tensor, factors)
+        assert all(ops.single(n).dtype == np.float32 for n in range(3))
+        assert all(arr.dtype == np.float32 for arr in ops.pairs().values())
+        assert all(f.dtype == np.float32 for f in ops.checkpoint_factors)
+
+    def test_int_tensor_still_promoted_to_float64(self):
+        rng = np.random.default_rng(51)
+        tensor = rng.integers(1, 5, size=(4, 4, 3))
+        factors = [rng.random((s, 2)) for s in tensor.shape]
+        ops = PairwiseOperators.build(tensor, factors)
+        assert ops.single(0).dtype == np.float64
+
+    def test_provider_bound_to_different_tensor_rejected(self):
+        """Regression: a same-shaped but different tensor must not silently
+        reuse the provider's cached intermediates."""
+        rng = np.random.default_rng(52)
+        a = rng.random((4, 4, 3))
+        b = rng.random((4, 4, 3))
+        factors = [rng.random((s, 2)) for s in a.shape]
+        provider = make_provider("dt", a, [f.copy() for f in factors])
+        with pytest.raises(ValueError, match="different tensor"):
+            PairwiseOperators.build(b, provider.factors, provider=provider)
+
+    def test_normalized_copy_of_same_tensor_accepted(self):
+        """A provider holding a dtype/contiguity-normalized copy of the same
+        data must still be able to share its cache."""
+        rng = np.random.default_rng(53)
+        tensor = np.asfortranarray(rng.random((4, 4, 3)))
+        factors = [rng.random((s, 2)) for s in tensor.shape]
+        provider = make_provider("dt", tensor, [f.copy() for f in factors])
+        assert provider.tensor is not tensor  # C-normalized copy
+        ops = PairwiseOperators.build(tensor, provider.factors, provider=provider)
+        np.testing.assert_allclose(ops.single(0),
+                                   mttkrp(np.ascontiguousarray(tensor),
+                                          provider.factors, 0), atol=1e-10)
+
+    def test_overlapping_view_of_different_data_rejected(self):
+        """Same-shape overlapping views hold different data — must not share."""
+        rng = np.random.default_rng(54)
+        base = rng.random((5, 4, 3))
+        provider = make_provider("dt", base[:4],
+                                 [rng.random((s, 2)) for s in (4, 4, 3)])
+        provider.mttkrp(0)
+        with pytest.raises(ValueError, match="different tensor"):
+            PairwiseOperators.build(base[1:5], provider.factors, provider=provider)
