@@ -33,7 +33,7 @@ from repro._version import __version__
 from repro.backend import TensorBackend, is_sparse_tensor
 from repro.contract import ContractionEngine, default_engine
 from repro.core.cp_als import cp_als
-from repro.sparse import CooTensor, sparse_mttkrp, sparse_partial_mttkrp
+from repro.sparse import CooTensor, CsfTensor, sparse_mttkrp, sparse_partial_mttkrp
 from repro.core.pp_cp_als import pp_cp_als
 from repro.core.multi_start import MultiStartResult, multi_start, start_seeds
 from repro.core.parallel_cp_als import parallel_cp_als
@@ -66,6 +66,7 @@ __all__ = [
     "CPTensor",
     "random_cp_tensor",
     "CooTensor",
+    "CsfTensor",
     "sparse_mttkrp",
     "sparse_partial_mttkrp",
     "TensorBackend",

@@ -76,7 +76,10 @@ def cp_als(
     mttkrp:
         MTTKRP engine: ``"naive"``, ``"unfolding"``, ``"dt"`` (standard
         dimension tree) or ``"msdt"`` (multi-sweep dimension tree).  All
-        engines produce identical iterates; they differ only in cost.
+        engines produce identical iterates; they differ only in cost.  The
+        same names work on sparse inputs — the trees then amortize over
+        CSF-style semi-sparse intermediates (:mod:`repro.trees.sparse_dt`)
+        instead of dense TTM chains.
     initial_factors:
         Optional explicit initial factor matrices (otherwise uniform random as
         in the paper).

@@ -88,7 +88,9 @@ def pp_cp_als(
         synthetic study, 0.1 for its application tensors).
     mttkrp:
         Engine used for the exact sweeps; the paper's implementation uses
-        MSDT, which is the default.
+        MSDT, which is the default.  On sparse inputs this resolves to the
+        CSF-based semi-sparse MSDT (:mod:`repro.trees.sparse_dt`), so the
+        exact sweeps amortize there too.
     max_pp_sweeps_per_phase:
         Safety bound on consecutive approximated sweeps within one PP phase.
     """

@@ -9,6 +9,17 @@ and :func:`repro.trees.registry.make_provider` through the
 """
 
 from repro.sparse.coo import CooTensor
+from repro.sparse.csf import CsfLevel, CsfTensor, FiberGrouping, fiber_grouping, segment_reduce
 from repro.sparse.mttkrp import DEFAULT_BLOCK_SIZE, sparse_mttkrp, sparse_partial_mttkrp
 
-__all__ = ["CooTensor", "sparse_mttkrp", "sparse_partial_mttkrp", "DEFAULT_BLOCK_SIZE"]
+__all__ = [
+    "CooTensor",
+    "CsfLevel",
+    "CsfTensor",
+    "FiberGrouping",
+    "fiber_grouping",
+    "segment_reduce",
+    "sparse_mttkrp",
+    "sparse_partial_mttkrp",
+    "DEFAULT_BLOCK_SIZE",
+]

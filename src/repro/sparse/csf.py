@@ -1,0 +1,318 @@
+"""Compressed sparse fiber (CSF) layouts over :class:`~repro.sparse.coo.CooTensor`.
+
+A :class:`CsfTensor` is the SPLATT-style hierarchical view of a sparse tensor
+for one *mode ordering*: the nonzeros are sorted lexicographically with
+``mode_order[0]`` as the primary key, and every prefix of the ordering is
+compressed into a level of unique "fiber" nodes.  Level ``d`` holds one node
+per distinct coordinate tuple over ``mode_order[:d + 1]``; its ``ptr`` array
+delimits the node's children at level ``d + 1`` (or, at the deepest level, the
+node's run of nonzeros).  Because the structure depends only on the sparsity
+pattern — never on factor matrices — it is built once per ordering and reused
+across every ALS sweep, which is exactly the amortization the sparse
+dimension-tree MTTKRP (:mod:`repro.trees.sparse_dt`) relies on:
+
+* the *root contraction* of the tree reduces each deepest-level fiber run of
+  nonzeros into one ``R``-vector (a contiguous segmented reduction, no
+  scatter), producing a semi-sparse intermediate of ``n_fibers x R`` dense
+  blocks;
+* every further contraction regroups parent fibers into child fibers along a
+  precomputed permutation, again a contiguous segmented reduction.
+
+:func:`segment_reduce` and :func:`run_starts` are those shared kernels;
+:class:`FiberGrouping` is the flat one-level variant (unique fibers over an
+arbitrary mode subset) for consumers that need a single grouping without the
+full hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sparse.coo import CooTensor
+
+__all__ = ["CsfLevel", "CsfTensor", "FiberGrouping", "fiber_grouping",
+           "run_starts", "segment_reduce"]
+
+
+def segment_reduce(block: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Sum contiguous row-runs of ``block``: ``out[k] = block[starts[k]:starts[k+1]].sum(0)``.
+
+    ``starts`` must be strictly increasing run offsets beginning at 0 (the
+    final run extends to the end of ``block``).  This is the fiber-run
+    segmented reduction at the heart of every CSF contraction — unlike a
+    scatter-add there are no repeated output indices, so it is a single
+    ``np.add.reduceat`` sweep.
+    """
+    n_rows = block.shape[0]
+    n_runs = starts.shape[0]
+    if n_runs == 0:
+        return np.zeros((0,) + block.shape[1:], dtype=block.dtype)
+    if n_runs == n_rows:  # every run is a single row
+        return block
+    return np.add.reduceat(block, starts, axis=0)
+
+
+def _check_mode_order(mode_order: Sequence[int], ndim: int) -> tuple[int, ...]:
+    order = tuple(int(m) for m in mode_order)
+    if sorted(order) != list(range(ndim)):
+        raise ValueError(
+            f"mode_order must be a permutation of range({ndim}), got {order}"
+        )
+    return order
+
+
+def _sort_perm(indices: np.ndarray, key_modes: Sequence[int]) -> np.ndarray | None:
+    """Stable lexicographic sort permutation with ``key_modes[0]`` primary.
+
+    Returns ``None`` when the rows are already sorted that way (e.g. the
+    canonical COO order for the identity ordering), so callers can skip the
+    gather entirely.
+    """
+    key_modes = list(key_modes)
+    if key_modes == list(range(len(key_modes))) and key_modes:
+        # canonical CooTensor order: already lexicographic over a mode prefix
+        if len(key_modes) <= indices.shape[1]:
+            return None
+    # np.lexsort sorts by the *last* key first, so feed the keys reversed
+    return np.lexsort(tuple(indices[:, m] for m in reversed(key_modes)))
+
+
+def _run_starts(changed: np.ndarray) -> np.ndarray:
+    """Offsets of runs given the ``rows[i] != rows[i+1]`` change mask."""
+    if changed.shape[0] == 0:  # 0 or 1 rows
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.flatnonzero(changed).astype(np.int64) + 1)
+    )
+
+
+def run_starts(columns: Sequence[np.ndarray], n_rows: int) -> np.ndarray:
+    """Run offsets of equal-row groups among lexicographically sorted rows.
+
+    ``columns`` are the key columns of an ``n_rows``-row matrix already sorted
+    lexicographically; rows belong to the same run when *all* columns agree.
+    This is the one grouping primitive shared by :func:`fiber_grouping` and
+    the sparse dimension tree's fiber regroupings.
+    """
+    if n_rows <= 1:
+        return np.zeros(min(n_rows, 1), dtype=np.int64)
+    changed = np.zeros(n_rows - 1, dtype=bool)
+    for col in columns:
+        np.logical_or(changed, col[1:] != col[:-1], out=changed)
+    return _run_starts(changed)
+
+
+@dataclass(frozen=True)
+class CsfLevel:
+    """One compressed index level of a :class:`CsfTensor`.
+
+    ``index[i]`` is node ``i``'s coordinate along this level's mode;
+    ``ptr[i]:ptr[i+1]`` is its children range in the next level (at the
+    deepest level: its run of nonzeros in :attr:`CsfTensor.values`).
+    """
+
+    index: np.ndarray
+    ptr: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.index.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.index.nbytes + self.ptr.nbytes)
+
+
+class CsfTensor:
+    """Compressed-sparse-fiber view of a :class:`CooTensor` for one mode ordering.
+
+    The layout shares the source tensor's index/value storage wherever the
+    requested ordering coincides with the canonical COO sort; otherwise a
+    permutation of the nonzeros is computed once at build time.
+    """
+
+    __slots__ = ("source", "mode_order", "perm", "levels", "_starts", "_values")
+
+    def __init__(self, source: CooTensor, mode_order: Sequence[int] | None = None):
+        if not isinstance(source, CooTensor):
+            raise TypeError(
+                f"CsfTensor expects a CooTensor, got {type(source).__name__}"
+            )
+        ndim = source.ndim
+        order = (tuple(range(ndim)) if mode_order is None
+                 else _check_mode_order(mode_order, ndim))
+        self.source = source
+        self.mode_order = order
+        self.perm = _sort_perm(source.indices, order)
+        self._values: np.ndarray | None = None
+
+        nnz = source.nnz
+        cols = [self.sorted_column(d) for d in range(ndim)]
+        # changed[i] accumulates "any of the first d+1 sort keys differs
+        # between sorted nonzeros i and i+1" as d grows
+        changed = np.zeros(max(nnz - 1, 0), dtype=bool)
+        starts: list[np.ndarray] = []
+        for d in range(ndim):
+            np.logical_or(changed, cols[d][1:] != cols[d][:-1], out=changed)
+            starts.append(_run_starts(changed) if nnz > 1
+                          else np.zeros(min(nnz, 1), dtype=np.int64))
+        self._starts = starts
+
+        levels: list[CsfLevel] = []
+        for d in range(ndim):
+            index = cols[d][starts[d]]
+            if d == ndim - 1:
+                ptr = np.concatenate((starts[d], [nnz])).astype(np.int64)
+            else:
+                # starts[d] is a subset of starts[d+1]: every depth-d node
+                # boundary is also a boundary one level down
+                ptr = np.concatenate((
+                    np.searchsorted(starts[d + 1], starts[d]),
+                    [starts[d + 1].shape[0]],
+                )).astype(np.int64)
+            levels.append(CsfLevel(index=index, ptr=ptr))
+        self.levels = levels
+
+    @classmethod
+    def from_coo(cls, tensor: CooTensor,
+                 mode_order: Sequence[int] | None = None) -> "CsfTensor":
+        """Build the CSF layout of ``tensor`` for ``mode_order`` (default identity)."""
+        return cls(tensor, mode_order)
+
+    # -- permuted views of the source -----------------------------------------
+    def sorted_column(self, depth: int) -> np.ndarray:
+        """Coordinates along ``mode_order[depth]`` in CSF nonzero order."""
+        col = self.source.indices[:, self.mode_order[depth]]
+        return col if self.perm is None else col[self.perm]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Nonzero values in CSF order (cached gather)."""
+        if self._values is None:
+            self._values = (self.source.values if self.perm is None
+                            else self.source.values[self.perm])
+        return self._values
+
+    # -- structure queries -----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.source.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.source.ndim
+
+    @property
+    def nnz(self) -> int:
+        return self.source.nnz
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes owned by the layout (excluding storage shared with the source)."""
+        own = sum(level.nbytes for level in self.levels)
+        own += sum(s.nbytes for s in self._starts)
+        if self.perm is not None:
+            own += self.perm.nbytes
+            if self._values is not None:  # cached gather, not a shared view
+                own += self._values.nbytes
+        return int(own)
+
+    def n_fibers(self, depth: int) -> int:
+        """Number of distinct fibers over ``mode_order[:depth + 1]``."""
+        return self.levels[depth].n_nodes
+
+    def value_ptr(self, depth: int) -> np.ndarray:
+        """Run offsets of each depth-``depth`` node's nonzeros into :attr:`values`."""
+        return np.concatenate((self._starts[depth], [self.nnz])).astype(np.int64)
+
+    def fiber_index(self, depth: int) -> np.ndarray:
+        """Coordinates of every depth-``depth`` node over ``mode_order[:depth + 1]``.
+
+        Returns an ``(n_fibers, depth + 1)`` matrix whose column ``j`` is the
+        coordinate along ``mode_order[j]``; rows are lexicographically sorted
+        (that is the CSF invariant).  All nonzeros of a node share its prefix
+        coordinates, so the first nonzero of each run supplies them.
+        """
+        starts = self._starts[depth]
+        return np.stack(
+            [self.sorted_column(j)[starts] for j in range(depth + 1)], axis=1
+        )
+
+    def fiber_counts(self, depth: int) -> np.ndarray:
+        """Nonzeros per depth-``depth`` node (``diff`` of :meth:`value_ptr`)."""
+        return np.diff(self.value_ptr(depth))
+
+    def to_coo(self) -> CooTensor:
+        """Round-trip back to (canonical) COO — the layout loses nothing."""
+        starts = self._starts[self.ndim - 1] if self.nnz else np.zeros(0, np.int64)
+        deepest = np.stack(
+            [self.sorted_column(j)[starts] for j in range(self.ndim)], axis=1
+        ) if self.nnz else np.zeros((0, self.ndim), dtype=np.int64)
+        # undo the mode permutation: column j carries mode_order[j]
+        indices = np.empty_like(deepest)
+        for j, m in enumerate(self.mode_order):
+            indices[:, m] = deepest[:, j]
+        return CooTensor(indices, self.values, self.shape,
+                         dtype=self.source.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fibers = "x".join(str(level.n_nodes) for level in self.levels)
+        return (
+            f"CsfTensor(order={self.mode_order}, nnz={self.nnz}, "
+            f"fibers={fibers})"
+        )
+
+
+@dataclass(frozen=True)
+class FiberGrouping:
+    """Unique fibers of a sparse tensor over an arbitrary sorted mode subset.
+
+    The flat (single-level) counterpart of a CSF level used by the sparse
+    dimension tree for its internal nodes: ``perm`` reorders the nonzeros so
+    equal fibers are adjacent (``None`` when the canonical order already has
+    that property), ``starts`` delimits the runs, and ``fibers`` holds each
+    run's coordinates over ``modes`` in lexicographic row order.
+    """
+
+    modes: tuple[int, ...]
+    fibers: np.ndarray          # (n_fibers, len(modes))
+    perm: np.ndarray | None     # (nnz,) or None if canonical order suffices
+    starts: np.ndarray          # (n_fibers,) run offsets into the permuted nnz
+
+    @property
+    def n_fibers(self) -> int:
+        return int(self.fibers.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        own = int(self.fibers.nbytes + self.starts.nbytes)
+        if self.perm is not None:
+            own += int(self.perm.nbytes)
+        return own
+
+
+def fiber_grouping(tensor: CooTensor, modes: Sequence[int]) -> FiberGrouping:
+    """Group the nonzeros of ``tensor`` by their coordinates over ``modes``.
+
+    ``modes`` must be sorted and non-empty.  Equivalent to the depth
+    ``len(modes) - 1`` level of a CSF tree ordered ``modes`` first, but built
+    directly (one lexsort) because the tree's deeper levels are not needed.
+    """
+    modes = tuple(int(m) for m in modes)
+    if not modes:
+        raise ValueError("fiber_grouping requires at least one mode")
+    if list(modes) != sorted(set(modes)):
+        raise ValueError(f"modes must be sorted and distinct, got {modes}")
+    if any(m < 0 or m >= tensor.ndim for m in modes):
+        raise ValueError(f"modes {modes} out of range for order-{tensor.ndim}")
+    perm = _sort_perm(tensor.indices, modes)
+    cols = [tensor.indices[:, m] if perm is None else tensor.indices[perm, m]
+            for m in modes]
+    nnz = tensor.nnz
+    starts = run_starts(cols, nnz)
+    fibers = (np.stack([col[starts] for col in cols], axis=1)
+              if nnz else np.zeros((0, len(modes)), dtype=np.int64))
+    return FiberGrouping(modes=modes, fibers=fibers, perm=perm, starts=starts)

@@ -99,6 +99,7 @@ def sparse_mttkrp(
     engine=None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     out: np.ndarray | None = None,
+    order_perm: np.ndarray | None = None,
 ) -> np.ndarray:
     """Sparse MTTKRP ``M^(mode)`` in ``O(nnz * R * N)`` work.
 
@@ -114,6 +115,13 @@ def sparse_mttkrp(
         Nonzeros per gather/scatter block (bounds the workspace).
     out:
         Optional preallocated ``(shape[mode], R)`` buffer; zeroed and filled.
+    order_perm:
+        Optional permutation of the nonzeros making ``indices[:, mode]``
+        non-decreasing (e.g. ``fiber_grouping(tensor, (mode,)).perm``).  The
+        canonical COO sort already guarantees that for mode 0; for other
+        modes passing the (pattern-only, reusable) permutation turns every
+        block's scatter-add into a fiber-run segmented reduction instead of a
+        per-rank-column ``bincount``.
     """
     factors = _check_sparse_inputs(tensor, factors, what="sparse_mttkrp")
     mode = check_mode(mode, tensor.ndim)
@@ -136,10 +144,19 @@ def sparse_mttkrp(
                 f"out must have dtype {tensor.dtype}, got {out.dtype}"
             )
         out.fill(0.0)
+    if order_perm is not None and order_perm.shape != (tensor.nnz,):
+        raise ValueError(
+            f"order_perm must have shape ({tensor.nnz},), got {order_perm.shape}"
+        )
     others = [j for j in range(tensor.ndim) if j != mode]
     for lo in range(0, tensor.nnz, block_size):
-        idx = tensor.indices[lo:lo + block_size]
-        values = tensor.values[lo:lo + block_size]
+        if order_perm is None:
+            idx = tensor.indices[lo:lo + block_size]
+            values = tensor.values[lo:lo + block_size]
+        else:  # gather stays block-bounded: permute one slice at a time
+            chunk = order_perm[lo:lo + block_size]
+            idx = tensor.indices[chunk]
+            values = tensor.values[chunk]
         if others:
             rows = [factors[j][idx[:, j]] for j in others]
             block = _hadamard_rows(eng, values, rows)

@@ -18,14 +18,43 @@ in which contraction paths they choose:
   MTTKRPs ``M_p^(n)`` at a checkpoint of the factors;
 * :class:`repro.trees.naive.NaiveMTTKRP` — recompute-from-scratch reference
   (cost ``2 N s^N R`` per sweep), the correctness oracle.
+
+Every engine exists on both tensor backends; :func:`make_provider` dispatches
+by input type.  The support matrix (engine name x backend, with the class that
+serves it):
+
+========== ============================ =========================================
+name       dense ``np.ndarray``         sparse :class:`~repro.sparse.CooTensor`
+========== ============================ =========================================
+``naive``  :class:`NaiveMTTKRP`         :class:`SparseCooMTTKRP` (``O(nnz R N)``)
+``unfolding`` :class:`UnfoldingMTTKRP`  :class:`SparseUnfoldingMTTKRP` (CSR)
+``dt``     :class:`DimensionTreeMTTKRP` :class:`SparseDimensionTreeMTTKRP` (CSF)
+``msdt``   :class:`MultiSweepDimensionTree` :class:`SparseMultiSweepDimensionTree`
+========== ============================ =========================================
+
+On dense inputs the trees win once ``N >= 3`` (they are the paper's headline
+algorithms); on sparse inputs ``naive`` wins for one-shot MTTKRPs (nothing to
+amortize), the trees win across full ALS sweeps (each first-level contraction
+is reused for ``~N/2`` — DT — or ``N-1`` — MSDT — mode updates), and
+``unfolding`` only for tensors small enough to afford the dense Khatri-Rao
+workspace.  The shared DT/MSDT control flow lives in
+:mod:`repro.trees.amortized`; the sparse semi-sparse descent in
+:mod:`repro.trees.sparse_dt`.
 """
 
 from repro.trees.base import MTTKRPProvider
 from repro.trees.cache import ContractionCache, CacheEntry
 from repro.trees.naive import NaiveMTTKRP, UnfoldingMTTKRP
+from repro.trees.amortized import AmortizedTreeMTTKRP
 from repro.trees.dimension_tree import DimensionTreeMTTKRP
 from repro.trees.msdt import MultiSweepDimensionTree
 from repro.trees.pp_operators import PairwiseOperators
+from repro.trees.sparse import SparseCooMTTKRP, SparseUnfoldingMTTKRP
+from repro.trees.sparse_dt import (
+    SemiSparseIntermediate,
+    SparseDimensionTreeMTTKRP,
+    SparseMultiSweepDimensionTree,
+)
 from repro.trees.registry import make_provider, available_providers
 
 __all__ = [
@@ -34,9 +63,15 @@ __all__ = [
     "CacheEntry",
     "NaiveMTTKRP",
     "UnfoldingMTTKRP",
+    "AmortizedTreeMTTKRP",
     "DimensionTreeMTTKRP",
     "MultiSweepDimensionTree",
     "PairwiseOperators",
+    "SparseCooMTTKRP",
+    "SparseUnfoldingMTTKRP",
+    "SemiSparseIntermediate",
+    "SparseDimensionTreeMTTKRP",
+    "SparseMultiSweepDimensionTree",
     "make_provider",
     "available_providers",
 ]

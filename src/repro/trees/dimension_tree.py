@@ -6,51 +6,50 @@ consecutive mode updates.  Because the factors contracted into an intermediate
 order, an intermediate stays valid exactly while the sweep is updating the
 modes inside ``S`` — the versioned cache makes that invariant explicit.  The
 leading-order per-sweep cost is two first-level TTMs, i.e. ``4 s^N R``.
+
+The control flow (cache lookup, binary-split descent order) lives in
+:mod:`repro.trees.amortized`; this module supplies the dense descent backend.
+The sparse twin over CSF fiber blocks is
+:class:`repro.trees.sparse_dt.SparseDimensionTreeMTTKRP`.
 """
 
 from __future__ import annotations
 
+from typing import Mapping, Sequence
+
 import numpy as np
 
-from repro.trees.base import MTTKRPProvider
-from repro.trees.descent import binary_split_order, descend
+from repro.trees.amortized import AmortizedTreeMTTKRP, DtOrderPolicy
+from repro.trees.descent import descend
 
-__all__ = ["DimensionTreeMTTKRP"]
+__all__ = ["DenseTreeBackend", "DimensionTreeMTTKRP"]
 
 
-class DimensionTreeMTTKRP(MTTKRPProvider):
-    """Per-sweep amortized MTTKRP via the standard binary dimension tree."""
+class DenseTreeBackend(AmortizedTreeMTTKRP):
+    """Dense descent backend: einsum TTM / batched multi-TTV contractions."""
 
-    name = "dt"
-
-    def mttkrp(self, mode: int) -> np.ndarray:
-        mode = int(mode)
-        if not 0 <= mode < self.order:
-            raise ValueError(f"mode {mode} out of range for order-{self.order} tensor")
-        if self.order == 1:
-            # Degenerate case: M^(0) is the tensor broadcast against the rank axis.
-            return np.repeat(self.tensor[:, None], self.rank, axis=1)
-
-        start = self.cache.find_valid(self.versions, {mode})
-        if start is None:
-            start_modes = list(range(self.order))
-            start_array = None
-            base_versions: dict[int, int] = {}
-        else:
-            start_modes = sorted(start.modes)
-            start_array = start.array
-            base_versions = start.versions_used
-
-        order_list = binary_split_order(start_modes, mode)
+    def _descend_from(
+        self,
+        start_modes: Sequence[int],
+        start_intermediate: np.ndarray | None,
+        base_versions: Mapping[int, int],
+        order_list: Sequence[int],
+    ) -> np.ndarray:
         return descend(
             self.tensor,
             self.factors,
             self.versions,
             self.cache,
             start_modes,
-            start_array,
+            start_intermediate,
             base_versions,
             order_list,
             tracker=self.tracker,
             engine=self.engine,
         )
+
+
+class DimensionTreeMTTKRP(DtOrderPolicy, DenseTreeBackend):
+    """Per-sweep amortized MTTKRP via the standard binary dimension tree."""
+
+    name = "dt"

@@ -20,62 +20,22 @@ Implementation note: because the versioned cache also retains still-valid
 occasionally needs even fewer first-level TTMs than the paper's ``N/(N-1)``
 per sweep for ``N >= 4`` (e.g. 1.25 instead of 1.33 at ``N = 4``); the paper's
 bound is an upper bound on the measured cost, which the tests verify.
+
+The root-ordering policy lives in :class:`repro.trees.amortized.MsdtOrderPolicy`
+(shared with the sparse CSF backend,
+:class:`repro.trees.sparse_dt.SparseMultiSweepDimensionTree`); this class binds
+it to the dense descent backend.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.trees.base import MTTKRPProvider
-from repro.trees.descent import binary_split_order, descend
+from repro.trees.amortized import MsdtOrderPolicy
+from repro.trees.dimension_tree import DenseTreeBackend
 
 __all__ = ["MultiSweepDimensionTree"]
 
 
-class MultiSweepDimensionTree(MTTKRPProvider):
+class MultiSweepDimensionTree(MsdtOrderPolicy, DenseTreeBackend):
     """Cross-sweep amortized MTTKRP (the paper's MSDT algorithm)."""
 
     name = "msdt"
-
-    def mttkrp(self, mode: int) -> np.ndarray:
-        mode = int(mode)
-        if not 0 <= mode < self.order:
-            raise ValueError(f"mode {mode} out of range for order-{self.order} tensor")
-        if self.order == 1:
-            return np.repeat(self.tensor[:, None], self.rank, axis=1)
-
-        start = self.cache.find_valid(self.versions, {mode})
-        if start is not None:
-            start_modes = sorted(start.modes)
-            order_list = binary_split_order(start_modes, mode)
-            return descend(
-                self.tensor,
-                self.factors,
-                self.versions,
-                self.cache,
-                start_modes,
-                start.array,
-                start.versions_used,
-                order_list,
-                tracker=self.tracker,
-                engine=self.engine,
-            )
-
-        # No valid ancestor: a first-level TTM is unavoidable.  Contract the
-        # most recently updated factor so the new root intermediate stays valid
-        # for the next N-1 mode updates (the MSDT subtree root of Fig. 2).
-        root_mode = self.most_recently_updated(exclude=mode)
-        remaining = [m for m in range(self.order) if m != root_mode]
-        order_list = [root_mode] + binary_split_order(remaining, mode)
-        return descend(
-            self.tensor,
-            self.factors,
-            self.versions,
-            self.cache,
-            list(range(self.order)),
-            None,
-            {},
-            order_list,
-            tracker=self.tracker,
-            engine=self.engine,
-        )

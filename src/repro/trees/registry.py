@@ -12,6 +12,10 @@ from repro.trees.dimension_tree import DimensionTreeMTTKRP
 from repro.trees.msdt import MultiSweepDimensionTree
 from repro.trees.naive import NaiveMTTKRP, UnfoldingMTTKRP
 from repro.trees.sparse import SparseCooMTTKRP, SparseUnfoldingMTTKRP
+from repro.trees.sparse_dt import (
+    SparseDimensionTreeMTTKRP,
+    SparseMultiSweepDimensionTree,
+)
 
 __all__ = ["make_provider", "available_providers", "PROVIDERS", "SPARSE_PROVIDERS"]
 
@@ -24,18 +28,22 @@ PROVIDERS: dict[str, Type[MTTKRPProvider]] = {
     "multi_sweep": MultiSweepDimensionTree,
 }
 
-#: engines used when the tensor is a sparse backend object.  The dimension-tree
-#: names alias the recompute engine for now (sparse CSF-style amortization is a
-#: ROADMAP open item), so ``cp_als(..., mttkrp="msdt")`` — the drivers'
-#: defaults — work transparently on sparse inputs.
+#: engines used when the tensor is a sparse backend object.  Every dense name
+#: has a real sparse counterpart: ``dt``/``msdt`` dispatch to the CSF-based
+#: semi-sparse dimension trees (:mod:`repro.trees.sparse_dt`), ``naive`` to the
+#: ``O(nnz R N)`` recompute kernel, ``unfolding`` to the cached-CSR
+#: matricization engine — so ``cp_als(..., mttkrp="msdt")``, the drivers'
+#: default, amortizes on sparse inputs exactly as it does on dense ones.
 SPARSE_PROVIDERS: dict[str, Type[MTTKRPProvider]] = {
     "sparse": SparseCooMTTKRP,
     "coo": SparseCooMTTKRP,
     "naive": SparseCooMTTKRP,
-    "dt": SparseCooMTTKRP,
-    "dimension_tree": SparseCooMTTKRP,
-    "msdt": SparseCooMTTKRP,
-    "multi_sweep": SparseCooMTTKRP,
+    "dt": SparseDimensionTreeMTTKRP,
+    "dimension_tree": SparseDimensionTreeMTTKRP,
+    "sparse-dt": SparseDimensionTreeMTTKRP,
+    "msdt": SparseMultiSweepDimensionTree,
+    "multi_sweep": SparseMultiSweepDimensionTree,
+    "sparse-msdt": SparseMultiSweepDimensionTree,
     "unfolding": SparseUnfoldingMTTKRP,
     "sparse-unfolding": SparseUnfoldingMTTKRP,
 }
@@ -61,8 +69,10 @@ def make_provider(
     ``tensor`` may be a dense ndarray or a :class:`repro.sparse.CooTensor`;
     the same names dispatch to the matching backend implementation.  Dense
     names: ``"naive"``, ``"unfolding"``, ``"dt"`` (alias ``"dimension_tree"``)
-    and ``"msdt"`` (alias ``"multi_sweep"``).  Sparse inputs additionally
-    accept ``"sparse"`` / ``"coo"`` explicitly.  ``engine`` is the shared
+    and ``"msdt"`` (alias ``"multi_sweep"``).  On sparse inputs the tree names
+    build the CSF-based semi-sparse dimension trees of
+    :mod:`repro.trees.sparse_dt`; ``"sparse"`` / ``"coo"`` select the
+    ``O(nnz R N)`` recompute kernel explicitly.  ``engine`` is the shared
     :class:`~repro.contract.ContractionEngine` used for every einsum the
     provider issues (defaults to the process-wide one).
     """

@@ -1,20 +1,26 @@
-"""MTTKRP providers over the sparse COO backend.
+"""Recompute / unfolding MTTKRP providers over the sparse COO backend.
 
 Two engines, mirroring the dense ``naive`` / ``unfolding`` pair so the
 sparse-vs-dense parity suite can cross-check independent implementations:
 
-* :class:`SparseCooMTTKRP` — blockwise gather / Hadamard / scatter-add over the
-  nonzeros (:func:`repro.sparse.mttkrp.sparse_mttkrp`), ``O(nnz * R * N)``
-  per call with a bounded workspace.
+* :class:`SparseCooMTTKRP` — blockwise gather / Hadamard / segmented-reduce
+  over the nonzeros (:func:`repro.sparse.mttkrp.sparse_mttkrp`),
+  ``O(nnz * R * N)`` per call with a bounded workspace.  For non-primary
+  output modes the provider caches a per-mode nonzero ordering (one stable
+  argsort, built once — the tensor never changes) so every scatter-add
+  collapses to a fiber-run segmented reduction instead of a per-column
+  ``bincount``.
 * :class:`SparseUnfoldingMTTKRP` — the unfolding-equivalent baseline: a
   scipy CSR mode-``n`` matricization (built once per mode and kept, the
   tensor never changes) times the dense Khatri-Rao matrix of the other
   factors.  Forms the full ``(prod_{m != n} s_m) x R`` Khatri-Rao matrix, so
-  like its dense twin it is only suitable for small problems.
+  like its dense twin it is only suitable for small problems;
+  ``max_cache_bytes`` bounds that workspace *hard* (a clear error instead of
+  a silent blow-up).
 
-Dimension-tree amortization over sparse inputs (CSF-style trees) is an open
-ROADMAP item; until then the registry aliases ``dt``/``msdt`` to the
-recompute engine so the drivers accept sparse tensors with default options.
+The amortizing ``dt``/``msdt`` engines over sparse inputs live in
+:mod:`repro.trees.sparse_dt` (CSF-based semi-sparse dimension trees); the
+registry dispatches all names per backend.
 """
 
 from __future__ import annotations
@@ -33,10 +39,32 @@ class SparseCooMTTKRP(MTTKRPProvider):
 
     name = "sparse"
 
+    def __init__(self, tensor, factors, tracker=None, max_cache_bytes=None,
+                 engine=None):
+        super().__init__(tensor, factors, tracker=tracker,
+                         max_cache_bytes=max_cache_bytes, engine=engine)
+        # per-output-mode nonzero orderings: pattern-only, built lazily once
+        self._mode_perms: dict[int, np.ndarray | None] = {}
+
+    def _mode_perm(self, mode: int) -> np.ndarray | None:
+        """Permutation making ``indices[:, mode]`` non-decreasing (None if it is).
+
+        With it the scatter-add of :func:`sparse_mttkrp` always takes the
+        sorted fiber-run path (one segmented reduction per block) — the
+        canonical COO order only guarantees that for mode 0.
+        """
+        if mode not in self._mode_perms:
+            self._mode_perms[mode] = (
+                None if mode == 0
+                else np.argsort(self.tensor.indices[:, mode], kind="stable")
+            )
+        return self._mode_perms[mode]
+
     def mttkrp(self, mode: int) -> np.ndarray:
         return sparse_mttkrp(self.tensor, self.factors, mode,
                              tracker=self.tracker, category="ttm",
-                             engine=self.engine)
+                             engine=self.engine,
+                             order_perm=self._mode_perm(int(mode)))
 
     def _on_factor_update(self, mode: int) -> None:  # no cache to maintain
         return None
@@ -91,12 +119,39 @@ class SparseUnfoldingMTTKRP(MTTKRPProvider):
         self._unfolding_bytes += size
         return cached
 
+    def _check_khatri_rao_budget(self, mode: int) -> None:
+        """Refuse to materialize a Khatri-Rao workspace over ``max_cache_bytes``.
+
+        The engine's defining weakness is the dense
+        ``(prod_{m != mode} s_m) x R`` Khatri-Rao matrix; when the caller set a
+        byte budget, silently allocating past it defeats the point, so the
+        violation is reported up front with the workspace size and the engines
+        that avoid it.
+        """
+        budget = self._max_unfolding_bytes
+        if budget is None:
+            return
+        n_rows = int(np.prod(
+            [self.tensor.shape[m] for m in range(self.order) if m != mode],
+            dtype=np.int64,
+        ))
+        kr_bytes = n_rows * self.rank * np.dtype(self.dtype).itemsize
+        if kr_bytes > budget:
+            raise MemoryError(
+                f"sparse-unfolding MTTKRP for mode {mode} needs a dense "
+                f"{n_rows} x {self.rank} Khatri-Rao workspace "
+                f"({kr_bytes} bytes), exceeding max_cache_bytes={budget}; "
+                "use the 'sparse' (COO) engine or the sparse dimension trees "
+                "('dt'/'msdt'), which never densify"
+            )
+
     def mttkrp(self, mode: int) -> np.ndarray:
         others = [m for m in range(self.order) if m != mode]
         if not others:  # order-1: the unfolding itself is the MTTKRP row sum
             return np.asarray(self._unfolding(mode).sum(axis=1)).repeat(
                 self.rank, axis=1
             )
+        self._check_khatri_rao_budget(mode)
         kr = khatri_rao([self.factors[m] for m in others],
                         tracker=self.tracker, category="khatri_rao",
                         engine=self.engine)

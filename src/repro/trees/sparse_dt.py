@@ -1,0 +1,311 @@
+"""CSF-based sparse dimension-tree MTTKRP providers (``dt``/``msdt`` on COO).
+
+The dense dimension tree amortizes one ALS sweep's MTTKRPs by caching
+partially contracted intermediates ``M^(S)`` (Eq. 4).  Over a sparse tensor
+the same intermediates are *semi-sparse*: only the fibers — distinct
+coordinate tuples over the remaining mode set ``S`` that carry at least one
+nonzero — have nonzero rows, so an intermediate is stored as a
+:class:`SemiSparseIntermediate`: an ``(n_fibers, |S|)`` sorted fiber-index
+matrix plus an ``(n_fibers, R)`` dense block (the SPLATT-style "mode-``R``
+semi-sparse tensor").
+
+Two kinds of contraction step, both *fiber-run segmented reductions* (no
+scatter-add, no bincount):
+
+* **root contraction** — from the raw COO tensor, contract one factor
+  ``A^(k)``: the :class:`~repro.sparse.csf.CsfTensor` layout for the ordering
+  ``sorted(S) + (k,)`` (built once per ``k``, cached for the lifetime of the
+  provider) stores the nonzeros grouped by ``S``-fiber, so the result is one
+  multiply per nonzero followed by a contiguous segmented reduction —
+  ``O(nnz * R)`` work versus the dense tree's ``O(prod(shape) * R)`` TTM;
+* **fiber contraction** — from a semi-sparse intermediate over ``S``,
+  contract mode ``k`` in ``S``: parent fibers that agree outside ``k``
+  collapse into one child fiber.  The regrouping permutation and run offsets
+  depend only on the sparsity pattern, so they too are computed once per
+  ``(S, k)`` pair and cached (:class:`_FiberStep`), leaving ``O(n_fibers * R)``
+  work per sweep step.
+
+Both steps route their elementwise products through the shared
+:class:`~repro.contract.ContractionEngine` and record flops/words/seconds in
+the :class:`~repro.machine.cost_tracker.CostTracker` under the same
+``"ttm"``/``"mttv"`` categories as the dense tree, so Figure-3-style
+breakdowns compare directly.  The control flow (cache lookup, DT/MSDT descent
+orders) is shared with the dense engines via :mod:`repro.trees.amortized` —
+the produced MTTKRPs are bit-for-bit the same contractions, so ALS iterates
+match the recompute engines to rounding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.sparse.coo import CooTensor
+from repro.sparse.csf import CsfTensor, run_starts, segment_reduce
+from repro.trees.amortized import AmortizedTreeMTTKRP, DtOrderPolicy, MsdtOrderPolicy
+
+__all__ = [
+    "SemiSparseIntermediate",
+    "SparseTreeBackend",
+    "SparseDimensionTreeMTTKRP",
+    "SparseMultiSweepDimensionTree",
+]
+
+
+@dataclass
+class SemiSparseIntermediate:
+    """Partially contracted MTTKRP ``M^(S)`` restricted to its nonzero fibers.
+
+    ``fibers[i]`` is the coordinate tuple of fiber ``i`` over the sorted
+    remaining mode set ``modes`` (rows lexicographically sorted and unique);
+    ``block[i]`` is its ``R``-vector.  Exposes ``nbytes`` so the versioned
+    :class:`~repro.trees.cache.ContractionCache` can budget these entries
+    exactly like dense intermediates.
+    """
+
+    modes: tuple[int, ...]
+    fibers: np.ndarray
+    block: np.ndarray
+
+    @property
+    def n_fibers(self) -> int:
+        return int(self.fibers.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.fibers.nbytes + self.block.nbytes)
+
+    def densify(self, shape: Sequence[int]) -> np.ndarray:
+        """Expand to the full ``shape[modes] + (R,)`` array (tests / debugging)."""
+        dims = tuple(int(shape[m]) for m in self.modes)
+        out = np.zeros(dims + (self.block.shape[1],), dtype=self.block.dtype)
+        if self.n_fibers:
+            out[tuple(self.fibers.T)] = self.block
+        return out
+
+
+@dataclass(frozen=True)
+class _RootStep:
+    """Precomputed structure of the first-level contraction of mode ``k``.
+
+    Derived from the CSF layout ordered ``sorted(S) + (k,)``: the nonzeros
+    appear grouped by ``S``-fiber, so the contraction is gather → multiply →
+    contiguous segment reduce.
+    """
+
+    modes: tuple[int, ...]      # S = all modes except k, sorted
+    fibers: np.ndarray          # (n_fibers, |S|)
+    starts: np.ndarray          # (n_fibers,) run offsets into the CSF nnz order
+    k_coords: np.ndarray        # (nnz,) mode-k coordinate per CSF-ordered nonzero
+    values: np.ndarray          # (nnz,) values in CSF order
+
+
+@dataclass(frozen=True)
+class _FiberStep:
+    """Precomputed regrouping for contracting mode ``k`` out of fiber set ``S``.
+
+    ``perm`` reorders parent fibers so children are contiguous (``None`` when
+    ``k`` is the last mode of ``S`` — dropping the least significant sort key
+    keeps lexicographic order); ``starts`` delimits the child runs;
+    ``k_coords`` is each parent fiber's mode-``k`` coordinate (pre-``perm``).
+    """
+
+    child_modes: tuple[int, ...]
+    child_fibers: np.ndarray
+    perm: np.ndarray | None
+    starts: np.ndarray
+    k_coords: np.ndarray
+
+
+class SparseTreeBackend(AmortizedTreeMTTKRP):
+    """Semi-sparse descent backend over CSF fiber structures.
+
+    Structural state (CSF layouts, fiber regroupings) depends only on the
+    tensor's sparsity pattern: it is built lazily on first use, cached for the
+    provider's lifetime, and — unlike the factor-dependent intermediates in
+    ``self.cache`` — never invalidated by factor updates and not counted
+    against ``max_cache_bytes`` (index arrays, not rank-``R`` blocks).
+    """
+
+    def __init__(self, tensor, factors, tracker=None, max_cache_bytes=None,
+                 engine=None):
+        if not isinstance(tensor, CooTensor):
+            raise TypeError(
+                f"{type(self).__name__} expects a CooTensor, got "
+                f"{type(tensor).__name__}"
+            )
+        super().__init__(tensor, factors, tracker=tracker,
+                         max_cache_bytes=max_cache_bytes, engine=engine)
+        self._csf: dict[tuple[int, ...], CsfTensor] = {}
+        self._root_steps: dict[int, _RootStep] = {}
+        self._fiber_steps: dict[tuple[tuple[int, ...], int], _FiberStep] = {}
+
+    # -- structural caches (sparsity pattern only, never invalidated) --------
+    def csf_layout(self, mode_order: Sequence[int]) -> CsfTensor:
+        """The (cached) CSF layout of the tensor for ``mode_order``."""
+        key = tuple(int(m) for m in mode_order)
+        layout = self._csf.get(key)
+        if layout is None:
+            layout = CsfTensor.from_coo(self.tensor, key)
+            self._csf[key] = layout
+        return layout
+
+    def _root_step(self, k: int) -> _RootStep:
+        step = self._root_steps.get(k)
+        if step is None:
+            modes = tuple(m for m in range(self.order) if m != k)
+            layout = self.csf_layout(modes + (k,))
+            depth = self.order - 2
+            step = _RootStep(
+                modes=modes,
+                fibers=layout.fiber_index(depth),
+                starts=layout.value_ptr(depth)[:-1],
+                k_coords=layout.sorted_column(self.order - 1),
+                values=layout.values,
+            )
+            self._root_steps[k] = step
+        return step
+
+    def _fiber_step(self, modes: tuple[int, ...], k: int,
+                    fibers: np.ndarray) -> _FiberStep:
+        key = (modes, k)
+        step = self._fiber_steps.get(key)
+        if step is not None:
+            return step
+        pos = modes.index(k)
+        child_modes = modes[:pos] + modes[pos + 1:]
+        child_cols = np.delete(fibers, pos, axis=1)
+        k_coords = np.ascontiguousarray(fibers[:, pos])
+        n_parents = fibers.shape[0]
+        if pos == len(modes) - 1:
+            perm = None          # dropping the last sort key keeps the order
+            cols = child_cols
+        else:
+            # lexicographic re-sort (np.lexsort: last key is primary, so feed
+            # the columns reversed); no linearization, so huge mode products
+            # cannot overflow
+            perm = np.lexsort(
+                tuple(child_cols[:, j] for j in reversed(range(len(child_modes))))
+            ).astype(np.int64)
+            cols = child_cols[perm]
+        starts = run_starts([cols[:, j] for j in range(cols.shape[1])], n_parents)
+        child_fibers = (cols[starts] if n_parents
+                        else np.zeros((0, len(child_modes)), dtype=np.int64))
+        step = _FiberStep(child_modes=child_modes, child_fibers=child_fibers,
+                          perm=perm, starts=starts, k_coords=k_coords)
+        self._fiber_steps[key] = step
+        return step
+
+    # -- contraction kernels -------------------------------------------------
+    def _root_contract(self, k: int) -> SemiSparseIntermediate:
+        """First-level contraction ``M^(S)``, ``S = {0..N-1} \\ {k}``, from COO."""
+        step = self._root_step(k)
+        rank = self.rank
+        start = time.perf_counter()
+        rows = self.factors[k][step.k_coords]
+        scaled = self.engine.contract("b,br->br", step.values, rows)
+        block = segment_reduce(scaled, step.starts)
+        elapsed = time.perf_counter() - start
+        if self.tracker is not None:
+            nnz = self.tensor.nnz
+            # one multiply + one (segment-)add per nonzero per rank column
+            self.tracker.add_flops("ttm", 2 * nnz * rank)
+            self.tracker.add_vertical_words(
+                nnz * (2 + rank) + step.fibers.size + block.size
+            )
+            self.tracker.add_seconds("ttm", elapsed)
+        return SemiSparseIntermediate(modes=step.modes, fibers=step.fibers,
+                                      block=block)
+
+    def _contract_fiber_mode(self, semi: SemiSparseIntermediate,
+                             k: int) -> SemiSparseIntermediate:
+        """Contract mode ``k`` out of a semi-sparse intermediate."""
+        step = self._fiber_step(semi.modes, k, semi.fibers)
+        rank = self.rank
+        start = time.perf_counter()
+        rows = self.factors[k][step.k_coords]
+        scaled = self.engine.contract("fr,fr->fr", semi.block, rows)
+        if step.perm is not None:
+            scaled = scaled[step.perm]
+        block = segment_reduce(scaled, step.starts)
+        elapsed = time.perf_counter() - start
+        if self.tracker is not None:
+            n_fibers = semi.n_fibers
+            self.tracker.add_flops("mttv", 2 * n_fibers * rank)
+            self.tracker.add_vertical_words(
+                n_fibers * (2 + 2 * rank) + block.size
+            )
+            self.tracker.add_seconds("mttv", elapsed)
+        return SemiSparseIntermediate(modes=step.child_modes,
+                                      fibers=step.child_fibers, block=block)
+
+    # -- backend hooks -------------------------------------------------------
+    def _descend_from(
+        self,
+        start_modes: Sequence[int],
+        start_intermediate: SemiSparseIntermediate | None,
+        base_versions: Mapping[int, int],
+        order_list: Sequence[int],
+    ) -> np.ndarray:
+        remaining = sorted(int(m) for m in start_modes)
+        versions_used = dict(base_versions)
+        order_list = [int(k) for k in order_list]
+        semi = start_intermediate
+        if semi is None:
+            # descents from the raw tensor always contract at least one mode
+            # (order >= 2 and the target is a single leaf)
+            k0 = order_list[0]
+            semi = self._root_contract(k0)
+            versions_used[k0] = self.versions[k0]
+            remaining.remove(k0)
+            self.cache.put(remaining, semi, versions_used)
+            order_list = order_list[1:]
+        for k in order_list:
+            semi = self._contract_fiber_mode(semi, k)
+            versions_used[k] = self.versions[k]
+            remaining.remove(k)
+            self.cache.put(remaining, semi, versions_used)
+        return self._finalize(semi)
+
+    def _finalize(self, semi: SemiSparseIntermediate) -> np.ndarray:
+        """Densify the single-mode intermediate into the ``(s_mode, R)`` MTTKRP."""
+        (mode,) = semi.modes
+        out = np.zeros((self.tensor.shape[mode], self.rank), dtype=self.dtype)
+        if semi.n_fibers:
+            out[semi.fibers[:, 0]] = semi.block  # fiber rows are unique
+        return out
+
+    def _order1_mttkrp(self) -> np.ndarray:
+        out = np.zeros((self.tensor.shape[0], self.rank), dtype=self.dtype)
+        if self.tensor.nnz:
+            out[self.tensor.indices[:, 0]] = self.tensor.values[:, None]
+        return out
+
+    # -- diagnostics ---------------------------------------------------------
+    def structure_stats(self) -> dict:
+        """Sizes of the pattern-only structural caches (not factor data)."""
+        return {
+            "csf_layouts": len(self._csf),
+            "csf_bytes": sum(c.nbytes for c in self._csf.values()),
+            "fiber_steps": len(self._fiber_steps),
+            "fiber_step_bytes": sum(
+                s.child_fibers.nbytes + s.starts.nbytes + s.k_coords.nbytes
+                + (s.perm.nbytes if s.perm is not None else 0)
+                for s in self._fiber_steps.values()
+            ),
+        }
+
+
+class SparseDimensionTreeMTTKRP(DtOrderPolicy, SparseTreeBackend):
+    """Per-sweep binary dimension tree over semi-sparse CSF intermediates."""
+
+    name = "sparse-dt"
+
+
+class SparseMultiSweepDimensionTree(MsdtOrderPolicy, SparseTreeBackend):
+    """Cross-sweep MSDT over semi-sparse CSF intermediates."""
+
+    name = "sparse-msdt"

@@ -1,0 +1,35 @@
+"""Hypothesis profiles for the property suites.
+
+The CI property job runs ``pytest -m property`` with ``HYPOTHESIS_PROFILE=ci``:
+a fixed-seed (derandomized) profile so failures reproduce exactly across runs
+and machines.  The default ``dev`` profile is also derandomized but smaller,
+keeping the tier-1 run fast.  Override with ``HYPOTHESIS_PROFILE=random`` to
+explore fresh examples locally.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=30,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=10,
+    derandomize=True,
+    deadline=None,
+)
+settings.register_profile(
+    "random",
+    max_examples=50,
+    derandomize=False,
+    deadline=None,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,11 +1,14 @@
 """Property-based tests on CP-ALS invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.cp_als import cp_als
 from repro.core.normal_equations import solve_normal_equations
 from repro.tensor.cp_format import random_cp_tensor
+
+pytestmark = pytest.mark.property
 
 
 @settings(max_examples=10, deadline=None)

@@ -1,6 +1,7 @@
 """Property-based tests for the MTTKRP engines, cache and collectives."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.comm.simulated import SimulatedMachine
@@ -8,6 +9,8 @@ from repro.grid.processor_grid import ProcessorGrid
 from repro.machine.params import MachineParams
 from repro.tensor.mttkrp import mttkrp
 from repro.trees.registry import make_provider
+
+pytestmark = pytest.mark.property
 
 _dim = st.integers(min_value=2, max_value=5)
 _rank = st.integers(min_value=1, max_value=3)

@@ -1,11 +1,14 @@
 """Property-based tests (hypothesis) for the tensor algebra substrate."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.tensor.mttkrp import mttkrp, partial_mttkrp
 from repro.tensor.products import hadamard_all_but, khatri_rao
 from repro.tensor.unfold import fold, generalized_unfolding, refold_generalized, unfold
+
+pytestmark = pytest.mark.property
 
 # keep shapes tiny so the whole property suite stays fast
 _small_dim = st.integers(min_value=1, max_value=5)

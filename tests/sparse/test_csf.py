@@ -1,0 +1,196 @@
+"""Regression tests for the CSF builder (`repro.sparse.csf`).
+
+Covers the ISSUE-3 satellite checklist: duplicate coalescing, empty slices,
+single-nonzero and all-nonzeros-in-one-fiber tensors, plus the structural
+invariants every consumer (the sparse dimension tree) relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CooTensor, CsfTensor, fiber_grouping, segment_reduce
+
+
+def _random_coo(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.random(shape) * (rng.random(shape) < density)
+    return dense, CooTensor.from_dense(dense)
+
+
+def _check_invariants(csf: CsfTensor):
+    """Structural invariants of a CSF layout, independent of the content."""
+    ndim = csf.ndim
+    assert len(csf.levels) == ndim
+    for depth, level in enumerate(csf.levels):
+        n = level.n_nodes
+        assert level.ptr.shape == (n + 1,)
+        assert level.ptr[0] == 0
+        assert np.all(np.diff(level.ptr) >= 1), "every node has >= 1 child"
+        limit = csf.nnz if depth == ndim - 1 else csf.levels[depth + 1].n_nodes
+        assert level.ptr[-1] == limit
+        # fiber index rows are unique and lexicographically sorted
+        fibers = csf.fiber_index(depth)
+        assert fibers.shape == (n, depth + 1)
+        if n > 1:
+            diff = fibers[1:] != fibers[:-1]
+            assert np.all(diff.any(axis=1)), "fibers must be unique"
+            # lexicographic: the first differing column must increase
+            first_diff = diff.argmax(axis=1)
+            rows = np.arange(n - 1)
+            assert np.all(fibers[1:][rows, first_diff]
+                          > fibers[:-1][rows, first_diff])
+        # value_ptr is consistent with fiber_counts
+        vptr = csf.value_ptr(depth)
+        assert vptr[0] == 0 and vptr[-1] == csf.nnz
+        assert np.array_equal(np.diff(vptr), csf.fiber_counts(depth))
+    # fiber counts never increase with depth refinement
+    for depth in range(ndim - 1):
+        assert csf.n_fibers(depth) <= csf.n_fibers(depth + 1)
+    assert csf.n_fibers(ndim - 1) == csf.nnz
+
+
+class TestCsfBuilder:
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_round_trip_and_invariants(self, order):
+        shape = tuple(range(4, 4 + order))
+        dense, coo = _random_coo(shape, density=0.4, seed=order)
+        for mode_order in (None, tuple(reversed(range(order)))):
+            csf = CsfTensor.from_coo(coo, mode_order)
+            _check_invariants(csf)
+            back = csf.to_coo()
+            assert np.array_equal(back.indices, coo.indices)
+            np.testing.assert_allclose(back.values, coo.values)
+
+    def test_identity_ordering_shares_storage(self):
+        _, coo = _random_coo((5, 4, 3), density=0.5, seed=1)
+        csf = CsfTensor.from_coo(coo)
+        assert csf.perm is None          # canonical COO order reused as-is
+        assert csf.values is coo.values  # no gather, no copy
+
+    def test_non_identity_ordering_sorts(self):
+        _, coo = _random_coo((5, 4, 3), density=0.5, seed=2)
+        csf = CsfTensor.from_coo(coo, (2, 0, 1))
+        assert csf.perm is not None
+        cols = [csf.sorted_column(d) for d in range(3)]
+        # primary key (mode 2) non-decreasing; full key lexicographic
+        assert np.all(np.diff(cols[0]) >= 0)
+        lin = np.ravel_multi_index(
+            (cols[0], cols[1], cols[2]),
+            tuple(coo.shape[m] for m in (2, 0, 1)),
+        )
+        assert np.all(np.diff(lin) > 0)  # strictly: coordinates are unique
+
+    def test_duplicate_coordinates_are_coalesced(self):
+        """Duplicates are summed before the layout sees them (COO canonical)."""
+        indices = np.array([[1, 2], [0, 1], [1, 2], [0, 1], [0, 1]])
+        values = np.array([1.0, 2.0, 10.0, 3.0, 4.0])
+        coo = CooTensor(indices, values, (3, 3))
+        csf = CsfTensor.from_coo(coo)
+        assert csf.nnz == 2
+        assert csf.n_fibers(0) == 2 and csf.n_fibers(1) == 2
+        np.testing.assert_allclose(csf.values, [9.0, 11.0])  # (0,1), (1,2)
+        np.testing.assert_allclose(csf.to_coo().to_dense(), coo.to_dense())
+
+    def test_empty_tensor(self):
+        coo = CooTensor(np.empty((0, 3), dtype=np.int64), np.empty(0), (4, 5, 6))
+        csf = CsfTensor.from_coo(coo, (1, 0, 2))
+        _check_invariants(csf)
+        for depth in range(3):
+            assert csf.n_fibers(depth) == 0
+            assert csf.value_ptr(depth).tolist() == [0]
+        assert csf.to_coo().nnz == 0
+
+    def test_empty_slices_do_not_create_nodes(self):
+        """Slices with no nonzeros simply have no fiber — no padding nodes."""
+        dense = np.zeros((5, 4, 3))
+        dense[0, 1, 2] = 1.0
+        dense[4, 1, 0] = 2.0   # slices 1..3 of mode 0 are empty
+        coo = CooTensor.from_dense(dense)
+        csf = CsfTensor.from_coo(coo)
+        assert csf.levels[0].index.tolist() == [0, 4]
+        assert coo.empty_slices(0).tolist() == [1, 2, 3]
+
+    def test_single_nonzero(self):
+        dense = np.zeros((3, 4, 5))
+        dense[1, 2, 3] = 7.0
+        coo = CooTensor.from_dense(dense)
+        for mode_order in (None, (2, 1, 0), (1, 0, 2)):
+            csf = CsfTensor.from_coo(coo, mode_order)
+            _check_invariants(csf)
+            assert all(level.n_nodes == 1 for level in csf.levels)
+            np.testing.assert_allclose(csf.to_coo().to_dense(), dense)
+
+    def test_all_nonzeros_in_one_fiber(self):
+        """A single dense fiber: one node per prefix level, nnz leaves."""
+        dense = np.zeros((4, 3, 6))
+        dense[2, 1, :] = np.arange(1.0, 7.0)
+        coo = CooTensor.from_dense(dense)
+        csf = CsfTensor.from_coo(coo)
+        _check_invariants(csf)
+        assert csf.n_fibers(0) == 1 and csf.n_fibers(1) == 1
+        assert csf.n_fibers(2) == 6
+        assert csf.levels[1].ptr.tolist() == [0, 6]
+        np.testing.assert_allclose(csf.values, np.arange(1.0, 7.0))
+
+    def test_rejects_bad_inputs(self):
+        _, coo = _random_coo((3, 3), density=0.5, seed=3)
+        with pytest.raises(TypeError, match="CooTensor"):
+            CsfTensor.from_coo(np.eye(3))
+        with pytest.raises(ValueError, match="permutation"):
+            CsfTensor.from_coo(coo, (0, 0))
+        with pytest.raises(ValueError, match="permutation"):
+            CsfTensor.from_coo(coo, (0, 2))
+
+
+class TestFiberGrouping:
+    def test_groups_match_unique(self):
+        _, coo = _random_coo((6, 5, 4), density=0.5, seed=4)
+        for modes in [(0,), (1,), (2,), (0, 1), (1, 2), (0, 2)]:
+            grouping = fiber_grouping(coo, modes)
+            cols = coo.indices[:, list(modes)]
+            expected = np.unique(cols, axis=0)
+            assert np.array_equal(grouping.fibers, expected)
+            # runs really are constant-fiber and cover all nonzeros
+            permuted = cols if grouping.perm is None else cols[grouping.perm]
+            bounds = np.append(grouping.starts, coo.nnz)
+            for k in range(grouping.n_fibers):
+                run = permuted[bounds[k]:bounds[k + 1]]
+                assert np.all(run == grouping.fibers[k])
+
+    def test_mode0_prefix_needs_no_perm(self):
+        _, coo = _random_coo((6, 5, 4), density=0.5, seed=5)
+        assert fiber_grouping(coo, (0,)).perm is None
+        assert fiber_grouping(coo, (0, 1)).perm is None
+        assert fiber_grouping(coo, (1,)).perm is not None
+
+    def test_validation(self):
+        _, coo = _random_coo((3, 3), density=0.5, seed=6)
+        with pytest.raises(ValueError, match="at least one mode"):
+            fiber_grouping(coo, ())
+        with pytest.raises(ValueError, match="sorted and distinct"):
+            fiber_grouping(coo, (1, 0))
+        with pytest.raises(ValueError, match="out of range"):
+            fiber_grouping(coo, (0, 5))
+
+
+class TestSegmentReduce:
+    def test_matches_loop(self):
+        rng = np.random.default_rng(7)
+        block = rng.random((10, 3))
+        starts = np.array([0, 2, 3, 7])
+        out = segment_reduce(block, starts)
+        bounds = np.append(starts, 10)
+        for k in range(4):
+            np.testing.assert_allclose(out[k],
+                                       block[bounds[k]:bounds[k + 1]].sum(0))
+
+    def test_degenerate(self):
+        block = np.zeros((0, 4))
+        assert segment_reduce(block, np.zeros(0, dtype=np.int64)).shape == (0, 4)
+        one = np.arange(8.0).reshape(2, 4)
+        # singleton runs: the block is its own reduction
+        np.testing.assert_allclose(
+            segment_reduce(one, np.array([0, 1])), one
+        )

@@ -16,6 +16,10 @@ from repro.tensor.norms import relative_residual, tensor_norm
 from repro.trees.pp_operators import PairwiseOperators
 from repro.trees.registry import available_providers, make_provider
 from repro.trees.sparse import SparseCooMTTKRP, SparseUnfoldingMTTKRP
+from repro.trees.sparse_dt import (
+    SparseDimensionTreeMTTKRP,
+    SparseMultiSweepDimensionTree,
+)
 
 
 def _sparsified_lowrank(shape, rank, density=0.35, seed=0):
@@ -51,9 +55,15 @@ class TestBackendDispatch:
     def test_make_provider_dispatches_on_backend(self):
         dense, coo = _sparsified_lowrank((5, 4, 3), rank=2, seed=1)
         factors = [np.random.default_rng(2).random((s, 2)) for s in dense.shape]
-        for name in ("naive", "dt", "msdt", "sparse", "coo"):
+        for name in ("naive", "sparse", "coo"):
             provider = make_provider(name, coo, [f.copy() for f in factors])
             assert isinstance(provider, SparseCooMTTKRP)
+        for name in ("dt", "dimension_tree", "sparse-dt"):
+            provider = make_provider(name, coo, [f.copy() for f in factors])
+            assert isinstance(provider, SparseDimensionTreeMTTKRP)
+        for name in ("msdt", "multi_sweep", "sparse-msdt"):
+            provider = make_provider(name, coo, [f.copy() for f in factors])
+            assert isinstance(provider, SparseMultiSweepDimensionTree)
         provider = make_provider("unfolding", coo, [f.copy() for f in factors])
         assert isinstance(provider, SparseUnfoldingMTTKRP)
         with pytest.raises(ValueError, match="unknown MTTKRP engine"):
@@ -203,11 +213,35 @@ class TestUnfoldingCacheBudget:
         assert bounded._unfolding_bytes <= one_csr + 1
         assert len(bounded._unfoldings) <= 1
 
-    def test_oversized_budget_returns_uncached(self):
+    def test_oversized_csr_returns_uncached(self):
+        """A CSR too large for the budget is handed back uncached (not cached)."""
         _, coo = _sparsified_lowrank((8, 7, 6), rank=2, seed=32)
         factors = [np.random.default_rng(33).random((s, 2)) for s in coo.shape]
-        tiny = make_provider("unfolding", coo, [f.copy() for f in factors],
-                             max_cache_bytes=8)
         reference = make_provider("unfolding", coo, [f.copy() for f in factors])
-        np.testing.assert_allclose(tiny.mttkrp(0), reference.mttkrp(0), atol=1e-10)
+        expected = reference.mttkrp(0)
+        one_csr = reference._csr_bytes(reference._unfoldings[0])
+        kr_bytes = 7 * 6 * 2 * np.dtype(np.float64).itemsize
+        # a budget that affords the Khatri-Rao workspace but not the CSR
+        assert kr_bytes < one_csr, "fixture must keep the CSR the larger object"
+        tiny = make_provider("unfolding", coo, [f.copy() for f in factors],
+                             max_cache_bytes=one_csr - 1)
+        np.testing.assert_allclose(tiny.mttkrp(0), expected, atol=1e-10)
         assert len(tiny._unfoldings) == 0
+
+    def test_khatri_rao_over_budget_raises(self):
+        """Satellite fix: the dense Khatri-Rao workspace must honor the budget.
+
+        Previously the engine silently materialized the full
+        ``(prod_{m != n} s_m) x R`` matrix no matter what ``max_cache_bytes``
+        said; now the violation fails fast with the workspace size and the
+        engines to use instead.
+        """
+        _, coo = _sparsified_lowrank((8, 7, 6), rank=2, seed=32)
+        factors = [np.random.default_rng(33).random((s, 2)) for s in coo.shape]
+        strict = make_provider("unfolding", coo, [f.copy() for f in factors],
+                               max_cache_bytes=8)
+        with pytest.raises(MemoryError, match="Khatri-Rao workspace"):
+            strict.mttkrp(0)
+        # an unbounded provider is unaffected
+        loose = make_provider("unfolding", coo, [f.copy() for f in factors])
+        loose.mttkrp(0)
