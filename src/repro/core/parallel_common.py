@@ -18,11 +18,13 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.backend import is_sparse_tensor
 from repro.comm.simulated import SimulatedMachine
 from repro.core.initialization import init_factors
 from repro.core.normal_equations import solve_normal_equations
 from repro.distributed.dist_factor import DistributedFactor
 from repro.distributed.dist_tensor import DistributedTensor
+from repro.distributed.sparse import DistSparseTensor
 from repro.grid.distribution import split_rows_evenly
 from repro.grid.processor_grid import ProcessorGrid
 from repro.machine.params import MachineParams
@@ -47,7 +49,7 @@ class ParallelState:
 
     grid: ProcessorGrid
     machine: SimulatedMachine
-    dist_tensor: DistributedTensor
+    dist_tensor: DistributedTensor | DistSparseTensor
     dist_factors: List[DistributedFactor]
     providers: Dict[int, MTTKRPProvider]
     grams: List[np.ndarray]
@@ -103,7 +105,7 @@ def _allreduce_gram(state: ParallelState, mode: int) -> np.ndarray:
 
 
 def setup_parallel_state(
-    tensor: np.ndarray | DistributedTensor,
+    tensor: np.ndarray | DistributedTensor | DistSparseTensor,
     rank: int,
     grid: ProcessorGrid | Sequence[int],
     mttkrp: str = "dt",
@@ -113,15 +115,36 @@ def setup_parallel_state(
     seed: int | np.random.Generator | None = None,
     distributed_solve: bool = True,
     max_cache_bytes: int | None = None,
+    partitioner: str = "nnz-balanced",
+    partition_seed: int | np.random.Generator | None = None,
 ) -> ParallelState:
-    """Distribute the tensor and factors and build the per-rank MTTKRP engines."""
+    """Distribute the tensor and factors and build the per-rank MTTKRP engines.
+
+    ``tensor`` may be dense (an ndarray or a pre-built
+    :class:`~repro.distributed.dist_tensor.DistributedTensor`) or sparse (a
+    :class:`~repro.sparse.CooTensor` or a pre-built
+    :class:`~repro.distributed.sparse.DistSparseTensor`).  Sparse inputs are
+    partitioned by ``partitioner`` (see
+    :func:`repro.grid.balance.make_partition`); the per-rank MTTKRP engines
+    then come from the sparse registry, so ``mttkrp="dt"``/``"msdt"`` build
+    CSF-based semi-sparse dimension trees on each rank's own block.
+    """
     if not isinstance(grid, ProcessorGrid):
         grid = ProcessorGrid(grid)
-    if isinstance(tensor, DistributedTensor):
+    if isinstance(tensor, (DistributedTensor, DistSparseTensor)):
         if tensor.grid != grid:
             raise ValueError("distributed tensor was built for a different grid")
         dist_tensor = tensor
         global_shape = tensor.global_shape
+    elif is_sparse_tensor(tensor):
+        if tensor.ndim != grid.order:
+            raise ValueError(
+                f"tensor order {tensor.ndim} does not match grid order {grid.order}"
+            )
+        dist_tensor = DistSparseTensor.from_coo(
+            tensor, grid, partitioner=partitioner, seed=partition_seed
+        )
+        global_shape = tensor.shape
     else:
         tensor = check_dense_tensor(tensor, min_order=2)
         if tensor.ndim != grid.order:
@@ -144,8 +167,12 @@ def setup_parallel_state(
         factors = [np.array(f, dtype=np.float64, copy=True) for f in
                    check_factor_matrices(initial_factors, shape=global_shape, rank=rank)]
 
+    partition = getattr(dist_tensor, "partition", None)
     dist_factors = [
-        DistributedFactor.from_global(factors[mode], mode, grid)
+        DistributedFactor.from_global(
+            factors[mode], mode, grid,
+            partition=None if partition is None else partition.modes[mode],
+        )
         for mode in range(grid.order)
     ]
 
@@ -210,11 +237,16 @@ def allreduce_rowwise_product(
 
 
 def zero_delta_factors(state: ParallelState) -> list[DistributedFactor]:
-    """Distributed all-zero factor steps (one per mode)."""
+    """Distributed all-zero factor steps (one per mode).
+
+    The deltas share each factor's row partition so non-uniform / permuted
+    sparse layouts keep their padded block heights.
+    """
     deltas = []
     for mode, df in enumerate(state.dist_factors):
         blocks = [np.zeros((df.block_rows, df.rank)) for _ in range(state.grid.dims[mode])]
-        deltas.append(DistributedFactor(mode, df.global_rows, df.rank, state.grid, blocks))
+        deltas.append(DistributedFactor(mode, df.global_rows, df.rank, state.grid,
+                                        blocks, partition=df.partition))
     return deltas
 
 

@@ -7,6 +7,12 @@ solves of the normal equations, an All-Gather of the updated factor rows, and
 an All-Reduce of the refreshed Gram matrix — exactly the communication pattern
 of Algorithm 3.  Per-sweep modeled times (compute + collectives under the
 alpha-beta-gamma-nu model) are recorded for the weak-scaling study (Fig. 3).
+
+Both tensor backends run through the same superstep structure: dense inputs
+use the paper's uniform padded blocks, sparse inputs
+(:class:`~repro.sparse.CooTensor`) are partitioned by the pluggable
+load balancers of :mod:`repro.grid.balance` and each rank's local MTTKRP
+dispatches to the sparse engine registry on its own COO/CSF block.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.comm.simulated import SimulatedMachine
 from repro.core.parallel_common import parallel_mode_update, setup_parallel_state
 from repro.core.results import ParallelALSResult, SweepRecord
 from repro.distributed.dist_tensor import DistributedTensor
+from repro.distributed.sparse import DistSparseTensor
 from repro.grid.processor_grid import ProcessorGrid
 from repro.machine.cost_tracker import CostTracker
 from repro.machine.params import MachineParams
@@ -30,7 +37,7 @@ __all__ = ["parallel_cp_als"]
 
 
 def parallel_cp_als(
-    tensor: np.ndarray | DistributedTensor,
+    tensor: np.ndarray | DistributedTensor | DistSparseTensor,
     rank: int,
     grid: ProcessorGrid | Sequence[int],
     n_sweeps: int = 25,
@@ -43,18 +50,28 @@ def parallel_cp_als(
     distributed_solve: bool = True,
     record_sweeps: bool = True,
     max_cache_bytes: int | None = None,
+    partitioner: str = "nnz-balanced",
+    partition_seed: int | np.random.Generator | None = None,
 ) -> ParallelALSResult:
     """Distributed-memory CP-ALS (Algorithm 3) executed on the simulated machine.
 
     Parameters
     ----------
     tensor:
-        Dense tensor or an already-distributed :class:`DistributedTensor`.
+        Dense tensor, sparse :class:`~repro.sparse.CooTensor`, or an
+        already-distributed :class:`DistributedTensor` /
+        :class:`~repro.distributed.sparse.DistSparseTensor`.
     grid:
         Processor grid (``ProcessorGrid`` or a dimension tuple such as
         ``(2, 2, 4)``); its order must equal the tensor order.
     mttkrp:
         Engine used for the *local* MTTKRPs (``"dt"``, ``"msdt"``, ``"naive"``).
+        On sparse inputs the same names dispatch to the sparse registry
+        (CSF-based semi-sparse dimension trees / COO recompute) per block.
+    partitioner / partition_seed:
+        How sparse inputs are split over the grid — a name accepted by
+        :func:`repro.grid.balance.make_partition` (default ``"nnz-balanced"``);
+        ignored for dense and pre-distributed inputs.
     distributed_solve:
         ``True`` models the paper's distributed SPD solves, ``False`` the
         PLANC-style redundant sequential solve (used as the PLANC baseline in
@@ -79,6 +96,7 @@ def parallel_cp_als(
         initial_factors=initial_factors, seed=seed,
         distributed_solve=distributed_solve,
         max_cache_bytes=max_cache_bytes,
+        partitioner=partitioner, partition_seed=partition_seed,
     )
     machine = state.machine
     order = state.order
@@ -151,6 +169,9 @@ def parallel_cp_als(
             "mttkrp": mttkrp,
             "grid": tuple(state.grid.dims),
             "distributed_solve": distributed_solve,
+            "partitioner": getattr(
+                getattr(state.dist_tensor, "partition", None), "name", None
+            ),
         },
         grid_dims=tuple(state.grid.dims),
         per_sweep_modeled_seconds=per_sweep_modeled,

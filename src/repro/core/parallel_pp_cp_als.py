@@ -153,12 +153,16 @@ def parallel_pp_cp_als(
     record_sweeps: bool = True,
     max_pp_sweeps_per_phase: int = 200,
     max_cache_bytes: int | None = None,
+    partitioner: str = "nnz-balanced",
+    partition_seed: int | np.random.Generator | None = None,
 ) -> ParallelALSResult:
     """Parallel PP-CP-ALS (Algorithm 4) on the simulated machine.
 
-    Arguments mirror :func:`repro.core.parallel_cp_als.parallel_cp_als` plus
-    the PP tolerance ``pp_tol`` and the per-phase safety bound
-    ``max_pp_sweeps_per_phase`` (see :func:`repro.core.pp_cp_als.pp_cp_als`).
+    Arguments mirror :func:`repro.core.parallel_cp_als.parallel_cp_als`
+    (including sparse :class:`~repro.sparse.CooTensor` inputs and the
+    ``partitioner`` selection) plus the PP tolerance ``pp_tol`` and the
+    per-phase safety bound ``max_pp_sweeps_per_phase`` (see
+    :func:`repro.core.pp_cp_als.pp_cp_als`).
     """
     rank = check_rank(rank)
     n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
@@ -173,6 +177,7 @@ def parallel_pp_cp_als(
         initial_factors=initial_factors, seed=seed,
         distributed_solve=distributed_solve,
         max_cache_bytes=max_cache_bytes,
+        partitioner=partitioner, partition_seed=partition_seed,
     )
     machine = state.machine
     order = state.order
@@ -308,6 +313,7 @@ def parallel_pp_cp_als(
                     rank,
                     state.grid,
                     blocks,
+                    partition=state.dist_factors[mode].partition,
                 )
             )
         total_sweeps += 1

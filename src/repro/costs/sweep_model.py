@@ -8,6 +8,12 @@ costs with the remaining per-sweep work (Hadamard chains, normal-equation
 solves, Gram updates) under the alpha-beta-gamma-nu machine model so the
 paper-scale curves can be regenerated; the executed small-scale runs validate
 the model's shape (see EXPERIMENTS.md).
+
+:func:`sparse_sweep_time_model` is the sparse counterpart for the distributed
+sparse CP-ALS of :mod:`repro.distributed.sparse`: compute and vertical terms
+scale with per-rank nonzeros (times the partitioner's imbalance factor) and
+``R``, collective payloads with factor rows — never with the padded dense
+block volume.
 """
 
 from __future__ import annotations
@@ -16,12 +22,23 @@ import math
 from dataclasses import dataclass
 
 from repro.costs.mttkrp_costs import mttkrp_costs_for
+from repro.grid.distribution import padded_block_size
+from repro.machine.collective_costs import als_sweep_collective_cost
 from repro.machine.params import MachineParams
 
-__all__ = ["SweepCostBreakdown", "sweep_time_model", "MODELED_METHODS"]
+__all__ = [
+    "SweepCostBreakdown",
+    "sweep_time_model",
+    "sparse_sweep_time_model",
+    "MODELED_METHODS",
+    "SPARSE_MODELED_METHODS",
+]
 
 #: methods accepted by :func:`sweep_time_model` — the five bars of Fig. 3
 MODELED_METHODS = ("planc", "dt", "msdt", "pp-init", "pp-approx")
+
+#: sparse engines accepted by :func:`sparse_sweep_time_model`
+SPARSE_MODELED_METHODS = ("naive", "dt", "msdt")
 
 
 @dataclass(frozen=True)
@@ -150,6 +167,122 @@ def sweep_time_model(
 
     return SweepCostBreakdown(
         method=method,
+        ttm_seconds=ttm_seconds,
+        mttv_seconds=mttv_seconds,
+        hadamard_seconds=hadamard_seconds,
+        solve_seconds=solve_seconds,
+        others_seconds=others_seconds,
+        communication_seconds=communication_seconds,
+    )
+
+
+def sparse_sweep_time_model(
+    method: str,
+    nnz_local: float,
+    shape: tuple[int, ...],
+    rank: int,
+    grid_dims: tuple[int, ...],
+    imbalance: float = 1.0,
+    fiber_ratio: float = 0.5,
+    block_rows: tuple[int, ...] | None = None,
+    params: MachineParams | None = None,
+) -> SweepCostBreakdown:
+    """Modeled per-sweep time of *sparse* distributed CP-ALS.
+
+    The sparse analogue of :func:`sweep_time_model`: local MTTKRP work scales
+    with the slowest rank's nonzero count ``nnz_local * imbalance`` and the
+    rank ``R`` — never with the padded dense block volume — while the
+    collective payloads scale with the factor rows each block spans
+    (:func:`repro.machine.collective_costs.als_sweep_collective_cost`).
+
+    Parameters
+    ----------
+    method:
+        ``"naive"`` (COO recompute, ``~2 N (N-1) nnz R`` flops per sweep),
+        ``"dt"`` (CSF semi-sparse dimension tree: two root contractions plus
+        fiber-level work) or ``"msdt"`` (``N/(N-1)`` root contractions per
+        sweep in steady state).
+    nnz_local:
+        Mean nonzeros per rank (``nnz / P``).
+    imbalance:
+        Max-over-mean per-rank nonzero ratio of the chosen partitioner
+        (:attr:`repro.grid.balance.PartitionReport.imbalance`); the BSP
+        critical path runs at the slowest rank's speed, so local work is
+        multiplied by it.  ``1.0`` models a perfectly balanced partition.
+    fiber_ratio:
+        Fraction of nonzero-level work the fiber-compressed second tree
+        levels retain (CSF fibers per nonzero); 0.5 matches the measured
+        ``bench_sparse_mttkrp`` sweeps at 1% density.
+    block_rows:
+        Per-mode padded factor-block heights; defaults to the uniform
+        ``ceil(s_i / I_i)`` (pass a partition's
+        :attr:`~repro.grid.balance.TensorPartition.padded_extents` to charge
+        the padding a skewed partition induces).
+    """
+    method = method.lower().strip()
+    if method not in SPARSE_MODELED_METHODS:
+        raise ValueError(
+            f"unknown sparse method {method!r}; available: {SPARSE_MODELED_METHODS}"
+        )
+    if params is None:
+        params = MachineParams.knl_like()
+    order = len(shape)
+    if order < 2:
+        raise ValueError("order must be at least 2")
+    if nnz_local < 0 or rank <= 0:
+        raise ValueError("nnz_local must be non-negative and rank positive")
+    if imbalance < 1.0:
+        raise ValueError("imbalance is max/mean and cannot be below 1.0")
+    if not 0.0 <= fiber_ratio <= 1.0:
+        raise ValueError("fiber_ratio must lie in [0, 1]")
+    n_procs = 1
+    for d in grid_dims:
+        n_procs *= int(d)
+
+    nnz_eff = float(nnz_local) * float(imbalance)
+    coo_words = nnz_eff * (order + 1)  # int64 indices + value per nonzero
+
+    if method == "naive":
+        # recompute: per mode, gather N-1 factor rows and Hadamard-reduce
+        ttm_flops = 2.0 * order * (order - 1) * nnz_eff * rank
+        mttv_flops = 0.0
+        vertical_words = order * (coo_words + nnz_eff * rank)
+    elif method == "dt":
+        # two first-level root contractions per sweep off the cached CSF
+        ttm_flops = 4.0 * nnz_eff * rank
+        # per-mode fiber-level segmented reductions on compressed intermediates
+        mttv_flops = 2.0 * order * fiber_ratio * nnz_eff * rank
+        vertical_words = 2.0 * coo_words + order * fiber_ratio * nnz_eff * rank
+    else:  # msdt: N/(N-1) root contractions per sweep in steady state
+        ttm_flops = 2.0 * order / (order - 1) * nnz_eff * rank
+        mttv_flops = 2.0 * order * fiber_ratio * nnz_eff * rank
+        vertical_words = (order / (order - 1)) * coo_words + order * fiber_ratio * nnz_eff * rank
+
+    ttm_seconds = max(params.gamma * ttm_flops, params.nu * vertical_words)
+    mttv_seconds = params.gamma * mttv_flops
+
+    # factor-sized per-sweep work: identical to the dense path (factors stay dense)
+    if block_rows is None:
+        block_rows = tuple(padded_block_size(s, d) for s, d in zip(shape, grid_dims))
+    hadamard_seconds = params.gamma * (order * max(order - 2, 1) * rank * rank)
+    solve_flops = 0.0
+    solve_messages = 0.0
+    others_flops = 0.0
+    for b, d in zip(block_rows, grid_dims):
+        group = n_procs // int(d)
+        rows_per_proc = float(b) / max(group, 1)
+        solve_flops += rank**3 / (3.0 * max(group, 1)) + 2.0 * rows_per_proc * rank**2
+        if group > 1:
+            solve_messages += 2.0 * math.log2(group)
+        others_flops += 2.0 * float(b) * rank**2
+    solve_seconds = params.gamma * solve_flops + params.alpha * solve_messages
+    others_seconds = params.gamma * others_flops
+
+    messages, words = als_sweep_collective_cost(shape, grid_dims, rank, block_rows)
+    communication_seconds = params.alpha * messages + params.beta * words
+
+    return SweepCostBreakdown(
+        method=f"sparse-{method}",
         ttm_seconds=ttm_seconds,
         mttv_seconds=mttv_seconds,
         hadamard_seconds=hadamard_seconds,

@@ -26,7 +26,13 @@ from repro.sparse.coo import CooTensor
 from repro.utils.random import as_rng
 from repro.utils.validation import check_probability, check_rank
 
-__all__ = ["sparse_low_rank_tensor", "sparse_count_tensor", "sample_coordinates"]
+__all__ = [
+    "sparse_low_rank_tensor",
+    "sparse_count_tensor",
+    "sparse_skewed_count_tensor",
+    "sample_coordinates",
+    "power_law_marginals",
+]
 
 #: above this many total entries, coordinates are sampled with replacement and
 #: deduplicated (achieved nnz can then fall slightly below the target)
@@ -118,5 +124,50 @@ def sparse_count_tensor(
     rng = as_rng(seed)
     shape = tuple(int(s) for s in shape)
     indices = sample_coordinates(shape, density, seed=rng)
+    values = 1.0 + rng.poisson(rate, size=indices.shape[0]).astype(np.float64)
+    return CooTensor(indices, values, shape)
+
+
+def power_law_marginals(extent: int, alpha: float = 1.0) -> np.ndarray:
+    """Zipf-like slice probabilities ``p_i ~ (i + 1)^-alpha`` for one mode."""
+    if extent <= 0:
+        raise ValueError("extent must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    weights = (np.arange(extent, dtype=np.float64) + 1.0) ** (-alpha)
+    return weights / weights.sum()
+
+
+def sparse_skewed_count_tensor(
+    shape: Sequence[int],
+    density: float,
+    alpha: float = 1.0,
+    rate: float = 3.0,
+    seed: int | np.random.Generator | None = None,
+) -> CooTensor:
+    """Poisson counts with power-law per-mode marginals (skewed slices).
+
+    Coordinates are drawn independently per mode from the Zipf-like
+    distribution of :func:`power_law_marginals` (exponent ``alpha``), then
+    deduplicated, so a few head slices hold most of the nonzeros — the shape
+    of real interaction tensors and the adversarial case for uniform block
+    distributions (see :mod:`repro.grid.balance`).  ``density`` is the target
+    before deduplication; the achieved density can fall below it for large
+    ``alpha`` because head coordinates collide often.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    density = check_probability(density, "density")
+    rng = as_rng(seed)
+    shape = tuple(int(s) for s in shape)
+    if any(s <= 0 for s in shape):
+        raise ValueError(f"mode sizes must be positive, got {shape}")
+    size = int(np.prod(shape, dtype=np.int64))
+    nnz = max(1, int(round(density * size)))
+    columns = [
+        rng.choice(s, size=nnz, replace=True, p=power_law_marginals(s, alpha))
+        for s in shape
+    ]
+    indices = np.unique(np.column_stack(columns).astype(np.int64), axis=0)
     values = 1.0 + rng.poisson(rate, size=indices.shape[0]).astype(np.float64)
     return CooTensor(indices, values, shape)

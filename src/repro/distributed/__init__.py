@@ -5,9 +5,19 @@ order-``N`` input tensor is block-distributed over an order-``N`` processor
 grid, and each factor matrix ``A^(i)`` is stored as one row block per value of
 the ``i``-th grid coordinate — the block every processor in the corresponding
 grid slice holds redundantly after the mode-``i`` All-Gather.
+
+Two tensor layouts share that factor distribution:
+
+* :class:`DistributedTensor` — dense, uniform zero-padded blocks (Section
+  II-A of the paper).
+* :class:`DistSparseTensor` — sparse COO blocks selected by the pluggable
+  per-mode partitioners of :mod:`repro.grid.balance` (uniform baseline,
+  nnz-balanced, random/cyclic permutation), with uniform padded extents so
+  the collectives of the sweep stay identical to the dense path.
 """
 
 from repro.distributed.dist_tensor import DistributedTensor
 from repro.distributed.dist_factor import DistributedFactor
+from repro.distributed.sparse import DistSparseTensor
 
-__all__ = ["DistributedTensor", "DistributedFactor"]
+__all__ = ["DistributedTensor", "DistributedFactor", "DistSparseTensor"]

@@ -1,12 +1,31 @@
 """Distributed CP factor matrices.
 
 For mode ``i`` on a grid with ``I_i`` blocks along that mode, the factor
-``A^(i)`` is stored as ``I_i`` row blocks of uniform (padded) height
-``ceil(s_i / I_i)``.  Block ``x`` is exactly the set of rows that every
-processor in the grid slice ``P^(i)(x, :)`` holds redundantly after the
-mode-``i`` All-Gather of Algorithm 3; the :class:`DistributedFactor` stores it
-once and the parallel drivers charge the replication cost through the
-simulated collectives.
+``A^(i)`` is stored as ``I_i`` row blocks of uniform (padded) height.  Block
+``x`` is exactly the set of rows that every processor in the grid slice
+``P^(i)(x, :)`` holds redundantly after the mode-``i`` All-Gather of
+Algorithm 3; the :class:`DistributedFactor` stores it once and the parallel
+drivers charge the replication cost through the simulated collectives.
+
+By default the row blocks are the paper's uniform padded blocks of height
+``ceil(s_i / I_i)``.  When a :class:`~repro.grid.balance.ModePartition` is
+supplied (the sparse nnz-balanced / permuted layouts of
+:mod:`repro.grid.balance`), block ``x`` instead holds the rows whose permuted
+positions fall inside the partition's ``x``-th boundary interval, padded to
+the widest interval so collective payloads stay uniform.  Padded rows are
+identically zero and stay zero through the normal-equation solves.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.distributed import DistributedFactor
+>>> from repro.grid import ProcessorGrid
+>>> factor = DistributedFactor.from_global(np.arange(6.0).reshape(3, 2), 0,
+...                                        ProcessorGrid((2, 1)))
+>>> factor.block(0).shape, factor.block(1).shape   # padded to ceil(3/2) rows
+((2, 2), (2, 2))
+>>> factor.to_global().tolist()
+[[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]]
 """
 
 from __future__ import annotations
@@ -15,24 +34,56 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.grid.distribution import block_range, padded_block_size
+from repro.grid.balance import ModePartition, uniform_partition
 from repro.grid.processor_grid import ProcessorGrid
 
 __all__ = ["DistributedFactor"]
 
 
 class DistributedFactor:
-    """Row-blocked factor matrix for one tensor mode."""
+    """Row-blocked factor matrix for one tensor mode.
+
+    Parameters
+    ----------
+    mode:
+        Tensor mode this factor belongs to.
+    global_rows:
+        Number of true (unpadded) rows, ``s_mode``.
+    rank:
+        CP rank ``R`` (number of columns).
+    grid:
+        The processor grid; the factor has ``grid.dims[mode]`` row blocks.
+    blocks:
+        The row blocks, each of shape ``(block_rows, rank)``.
+    partition:
+        Optional :class:`~repro.grid.balance.ModePartition` describing
+        non-uniform (or permuted) row blocks; uniform padded blocks when
+        omitted.
+    """
 
     def __init__(self, mode: int, global_rows: int, rank: int, grid: ProcessorGrid,
-                 blocks: Sequence[np.ndarray]):
+                 blocks: Sequence[np.ndarray],
+                 partition: ModePartition | None = None):
         if not 0 <= mode < grid.order:
             raise ValueError(f"mode {mode} out of range for order-{grid.order} grid")
         self.mode = mode
         self.global_rows = int(global_rows)
         self.rank = int(rank)
         self.grid = grid
-        self.block_rows = padded_block_size(self.global_rows, grid.dims[mode])
+        if partition is None:
+            partition = uniform_partition(self.global_rows, grid.dims[mode])
+        if partition.extent != self.global_rows:
+            raise ValueError(
+                f"partition covers {partition.extent} rows but the factor has "
+                f"{self.global_rows}"
+            )
+        if partition.n_blocks != grid.dims[mode]:
+            raise ValueError(
+                f"partition has {partition.n_blocks} blocks but grid dimension "
+                f"{mode} is {grid.dims[mode]}"
+            )
+        self.partition = partition
+        self.block_rows = partition.block_rows
         blocks = [np.ascontiguousarray(b, dtype=np.float64) for b in blocks]
         if len(blocks) != grid.dims[mode]:
             raise ValueError(
@@ -47,23 +98,41 @@ class DistributedFactor:
 
     # -- constructors -----------------------------------------------------------
     @classmethod
-    def from_global(cls, matrix: np.ndarray, mode: int, grid: ProcessorGrid) -> "DistributedFactor":
-        """Split a global ``(s_mode, R)`` factor into padded row blocks."""
+    def from_global(cls, matrix: np.ndarray, mode: int, grid: ProcessorGrid,
+                    partition: ModePartition | None = None) -> "DistributedFactor":
+        """Split a global ``(s_mode, R)`` factor into padded row blocks.
+
+        With a ``partition``, block ``x`` receives the rows whose permuted
+        positions fall in the partition's ``x``-th interval (in position
+        order); otherwise the paper's uniform contiguous blocks.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.grid import ProcessorGrid
+        >>> from repro.grid.balance import ModePartition
+        >>> part = ModePartition(3, [0, 1, 3])   # skewed: blocks of 1 and 2 rows
+        >>> factor = DistributedFactor.from_global(np.arange(6.0).reshape(3, 2),
+        ...                                        0, ProcessorGrid((2, 1)), part)
+        >>> factor.block(0).tolist()             # one true row, one padded row
+        [[0.0, 1.0], [0.0, 0.0]]
+        """
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
             raise ValueError("factor matrix must be 2-D")
         if not 0 <= mode < grid.order:
             raise ValueError(f"mode {mode} out of range for order-{grid.order} grid")
         rows, rank = matrix.shape
-        n_blocks = grid.dims[mode]
-        block_rows = padded_block_size(rows, n_blocks)
+        if partition is None:
+            partition = uniform_partition(rows, grid.dims[mode])
+        block_rows = partition.block_rows
         blocks = []
-        for idx in range(n_blocks):
-            start, stop = block_range(rows, n_blocks, idx)
+        for idx in range(partition.n_blocks):
+            owned = partition.global_rows_of_block(idx)
             block = np.zeros((block_rows, rank), dtype=np.float64)
-            block[: stop - start] = matrix[start:stop]
+            block[: owned.shape[0]] = matrix[owned]
             blocks.append(block)
-        return cls(mode, rows, rank, grid, blocks)
+        return cls(mode, rows, rank, grid, blocks, partition=partition)
 
     # -- access -----------------------------------------------------------------
     def block(self, block_index: int) -> np.ndarray:
@@ -71,6 +140,7 @@ class DistributedFactor:
         return self._blocks[block_index]
 
     def set_block(self, block_index: int, value: np.ndarray) -> None:
+        """Replace row block ``block_index`` (shape must stay ``(block_rows, R)``)."""
         value = np.asarray(value, dtype=np.float64)
         if value.shape != (self.block_rows, self.rank):
             raise ValueError(
@@ -84,25 +154,40 @@ class DistributedFactor:
         return self._blocks[coord[self.mode]]
 
     def to_global(self) -> np.ndarray:
-        """Reassemble the global factor (dropping padded rows)."""
-        stacked = np.concatenate(self._blocks, axis=0)
-        return stacked[: self.global_rows].copy()
+        """Reassemble the global factor (dropping padded rows, undoing any
+        partition permutation)."""
+        out = np.zeros((self.global_rows, self.rank), dtype=np.float64)
+        for idx, block in enumerate(self._blocks):
+            owned = self.partition.global_rows_of_block(idx)
+            out[owned] = block[: owned.shape[0]]
+        return out
 
     def padded_global(self) -> np.ndarray:
-        """Concatenation of all blocks including padded rows."""
+        """Concatenation of all blocks including padded rows (position order)."""
         return np.concatenate(self._blocks, axis=0)
 
     def gram(self) -> np.ndarray:
-        """Gram matrix ``A^T A`` (padded rows are zero and contribute nothing)."""
+        """Gram matrix ``A^T A`` (padded rows are zero and contribute nothing).
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.grid import ProcessorGrid
+        >>> factor = DistributedFactor.from_global(np.eye(3, 2), 0,
+        ...                                        ProcessorGrid((2, 1)))
+        >>> factor.gram().tolist()
+        [[1.0, 0.0], [0.0, 1.0]]
+        """
         g = np.zeros((self.rank, self.rank))
         for b in self._blocks:
             g += b.T @ b
         return g
 
     def copy(self) -> "DistributedFactor":
+        """Deep copy (fresh block arrays, shared grid/partition)."""
         return DistributedFactor(
             self.mode, self.global_rows, self.rank, self.grid,
-            [b.copy() for b in self._blocks],
+            [b.copy() for b in self._blocks], partition=self.partition,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -21,7 +21,24 @@ __all__ = ["DistributedTensor"]
 
 
 class DistributedTensor:
-    """A dense tensor block-distributed over a :class:`ProcessorGrid`."""
+    """A dense tensor block-distributed over a :class:`ProcessorGrid`.
+
+    The sparse counterpart (COO blocks with pluggable, possibly non-uniform
+    partitions) is :class:`repro.distributed.sparse.DistSparseTensor`.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.grid import ProcessorGrid
+    >>> dist = DistributedTensor.from_dense(np.arange(12.0).reshape(4, 3),
+    ...                                     ProcessorGrid((2, 1)))
+    >>> dist.local_shape
+    (2, 3)
+    >>> dist.local_block(1).tolist()
+    [[6.0, 7.0, 8.0], [9.0, 10.0, 11.0]]
+    >>> bool(np.allclose(dist.to_dense(), np.arange(12.0).reshape(4, 3)))
+    True
+    """
 
     def __init__(self, blocks: Dict[int, np.ndarray], global_shape: tuple[int, ...],
                  grid: ProcessorGrid):
@@ -69,6 +86,7 @@ class DistributedTensor:
     # -- access ---------------------------------------------------------------
     @property
     def order(self) -> int:
+        """Tensor order ``N`` (equals the grid order)."""
         return len(self.global_shape)
 
     @property

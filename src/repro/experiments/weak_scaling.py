@@ -13,6 +13,11 @@ Two modes:
 
 The paper's grid lists are exposed as :data:`PAPER_GRIDS_ORDER3` and
 :data:`PAPER_GRIDS_ORDER4`.
+
+:func:`modeled_sparse_weak_scaling` / :func:`executed_sparse_weak_scaling`
+extend the study to the sparse workload class: fixed *nonzeros per processor*
+instead of fixed dense block volume, skewed synthetic inputs, and the
+pluggable partitioners of :mod:`repro.grid.balance`.
 """
 
 from __future__ import annotations
@@ -24,14 +29,22 @@ import numpy as np
 
 from repro.core.parallel_cp_als import parallel_cp_als
 from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
-from repro.costs.sweep_model import MODELED_METHODS, sweep_time_model
+from repro.costs.sweep_model import (
+    MODELED_METHODS,
+    SPARSE_MODELED_METHODS,
+    sparse_sweep_time_model,
+    sweep_time_model,
+)
 from repro.data.lowrank import random_low_rank_tensor
+from repro.data.sparse_synthetic import sparse_skewed_count_tensor
 from repro.machine.params import MachineParams
 
 __all__ = [
     "WeakScalingPoint",
     "modeled_weak_scaling",
     "executed_weak_scaling",
+    "modeled_sparse_weak_scaling",
+    "executed_sparse_weak_scaling",
     "PAPER_GRIDS_ORDER3",
     "PAPER_GRIDS_ORDER4",
 ]
@@ -165,4 +178,103 @@ def executed_weak_scaling(
                 sweep_type = "pp-init" if method == "pp-init" else "pp-approx"
                 mean_time, breakdown = _mean_modeled(result, sweep_type)
                 points.append(WeakScalingPoint(grid, method, mean_time, breakdown, "executed"))
+    return points
+
+
+def modeled_sparse_weak_scaling(
+    order: int,
+    nnz_local: int,
+    s_local: int,
+    rank: int,
+    grids: Sequence[Sequence[int]] | None = None,
+    methods: Sequence[str] = SPARSE_MODELED_METHODS,
+    imbalance: float = 1.0,
+    params: MachineParams | None = None,
+) -> list[WeakScalingPoint]:
+    """Sparse per-sweep modeled times for every (grid, method) pair.
+
+    The sparse weak-scaling setup keeps *nonzeros per processor* fixed at
+    ``nnz_local`` (the sparse analogue of the paper's fixed ``s_local^N``
+    dense block) while global mode sizes grow as ``s_local * I_i``;
+    ``imbalance`` charges the slowest rank of a partitioner with that
+    max-over-mean nonzero ratio (see
+    :func:`repro.costs.sweep_model.sparse_sweep_time_model`).
+    """
+    if grids is None:
+        if order == 3:
+            grids = PAPER_GRIDS_ORDER3
+        elif order == 4:
+            grids = PAPER_GRIDS_ORDER4
+        else:
+            raise ValueError("default grids exist only for orders 3 and 4")
+    params = params if params is not None else MachineParams.knl_like()
+    points: list[WeakScalingPoint] = []
+    for grid in grids:
+        grid = tuple(int(d) for d in grid)
+        if len(grid) != order:
+            raise ValueError(f"grid {grid} does not match order {order}")
+        shape = tuple(s_local * d for d in grid)
+        for method in methods:
+            breakdown = sparse_sweep_time_model(
+                method, nnz_local, shape, rank, grid,
+                imbalance=imbalance, params=params,
+            )
+            points.append(
+                WeakScalingPoint(
+                    grid=grid,
+                    method=breakdown.method,
+                    per_sweep_seconds=breakdown.total_seconds,
+                    breakdown=breakdown.category_seconds(),
+                    source="model",
+                )
+            )
+    return points
+
+
+def executed_sparse_weak_scaling(
+    order: int,
+    nnz_local: int,
+    s_local: int,
+    rank: int,
+    grids: Sequence[Sequence[int]],
+    n_sweeps: int = 3,
+    seed: int = 0,
+    alpha: float = 1.0,
+    partitioner: str = "nnz-balanced",
+    params: MachineParams | None = None,
+    methods: Sequence[str] = ("naive", "dt", "msdt"),
+) -> list[WeakScalingPoint]:
+    """Execute sparse Algorithm 3 on the simulated machine (weak scaling).
+
+    Each grid gets a skewed Poisson tensor
+    (:func:`repro.data.sparse_synthetic.sparse_skewed_count_tensor`, power-law
+    exponent ``alpha``) with global shape ``s_local * grid[i]`` and a target
+    of ``nnz_local`` nonzeros per processor, distributed by ``partitioner``;
+    modeled per-sweep times come from the per-rank cost trackers exactly as
+    in :func:`executed_weak_scaling`.
+    """
+    params = params if params is not None else MachineParams.knl_like()
+    points: list[WeakScalingPoint] = []
+    for grid in grids:
+        grid = tuple(int(d) for d in grid)
+        if len(grid) != order:
+            raise ValueError(f"grid {grid} does not match order {order}")
+        n_procs = int(np.prod(grid))
+        shape = tuple(s_local * d for d in grid)
+        size = int(np.prod(shape, dtype=np.int64))
+        density = min(1.0, nnz_local * n_procs / size)
+        tensor = sparse_skewed_count_tensor(shape, density, alpha=alpha, seed=seed)
+        for method in methods:
+            result = parallel_cp_als(
+                tensor, rank, grid, n_sweeps=n_sweeps, tol=0.0,
+                mttkrp=method, params=params, seed=seed,
+                partitioner=partitioner, partition_seed=seed,
+            )
+            values = [s for s in result.sweeps if s.sweep_type == "als"]
+            mean_time = float(np.mean([s.modeled_seconds for s in values]))
+            breakdown = values[-1].kernel_seconds if values else {}
+            points.append(
+                WeakScalingPoint(grid, f"sparse-{method}", mean_time, breakdown,
+                                 "executed")
+            )
     return points

@@ -1,10 +1,12 @@
-"""Logical processor grids and block data distributions.
+"""Logical processor grids, block data distributions and load balancing.
 
 The parallel algorithms distribute an order-``N`` tensor over an order-``N``
 processor grid (Section II-E of the paper).  :class:`ProcessorGrid` handles
 rank <-> coordinate arithmetic and the "slice" groups used by the per-mode
-collectives; :mod:`repro.grid.distribution` implements the padded block
-distribution of tensor modes and factor matrix rows.
+collectives; :mod:`repro.grid.distribution` implements the paper's uniform
+padded block distribution of tensor modes and factor matrix rows;
+:mod:`repro.grid.balance` generalizes it to pluggable per-mode partitioners
+(nnz-balanced, random/cyclic permutation) for skewed sparse tensors.
 """
 
 from repro.grid.processor_grid import ProcessorGrid
@@ -15,6 +17,13 @@ from repro.grid.distribution import (
     local_block_slices,
     split_rows_evenly,
 )
+from repro.grid.balance import (
+    ModePartition,
+    PartitionReport,
+    TensorPartition,
+    available_partitioners,
+    make_partition,
+)
 
 __all__ = [
     "ProcessorGrid",
@@ -23,4 +32,9 @@ __all__ = [
     "pad_rows",
     "local_block_slices",
     "split_rows_evenly",
+    "ModePartition",
+    "PartitionReport",
+    "TensorPartition",
+    "available_partitioners",
+    "make_partition",
 ]

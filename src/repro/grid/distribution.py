@@ -21,7 +21,13 @@ __all__ = [
 
 
 def padded_block_size(extent: int, n_blocks: int) -> int:
-    """Uniform (padded) block size ``ceil(extent / n_blocks)``."""
+    """Uniform (padded) block size ``ceil(extent / n_blocks)``.
+
+    Example
+    -------
+    >>> padded_block_size(10, 4)
+    3
+    """
     if extent <= 0:
         raise ValueError("extent must be positive")
     if n_blocks <= 0:
@@ -34,6 +40,11 @@ def block_range(extent: int, n_blocks: int, block_index: int) -> tuple[int, int]
 
     The last blocks may cover fewer than ``padded_block_size`` true entries
     (or none at all when ``n_blocks * block >= extent`` already before them).
+
+    Example
+    -------
+    >>> [block_range(10, 4, b) for b in range(4)]
+    [(0, 3), (3, 6), (6, 9), (9, 10)]
     """
     if not 0 <= block_index < n_blocks:
         raise ValueError(f"block index {block_index} out of range for {n_blocks} blocks")
@@ -44,7 +55,13 @@ def block_range(extent: int, n_blocks: int, block_index: int) -> tuple[int, int]
 
 
 def pad_rows(array: np.ndarray, target_rows: int) -> np.ndarray:
-    """Zero-pad ``array`` along axis 0 up to ``target_rows`` rows."""
+    """Zero-pad ``array`` along axis 0 up to ``target_rows`` rows.
+
+    Example
+    -------
+    >>> pad_rows(np.ones((2, 2)), 3).tolist()
+    [[1.0, 1.0], [1.0, 1.0], [0.0, 0.0]]
+    """
     array = np.asarray(array)
     if array.shape[0] > target_rows:
         raise ValueError(
@@ -58,7 +75,13 @@ def pad_rows(array: np.ndarray, target_rows: int) -> np.ndarray:
 
 def local_block_slices(shape: tuple[int, ...], grid_dims: tuple[int, ...],
                        coordinate: tuple[int, ...]) -> tuple[slice, ...]:
-    """Global index slices of the block owned by grid ``coordinate``."""
+    """Global index slices of the block owned by grid ``coordinate``.
+
+    Example
+    -------
+    >>> local_block_slices((4, 6), (2, 2), (1, 0))
+    (slice(2, 4, None), slice(0, 3, None))
+    """
     if len(shape) != len(grid_dims) or len(shape) != len(coordinate):
         raise ValueError("shape, grid dims and coordinate must have equal length")
     slices = []
@@ -73,6 +96,11 @@ def split_rows_evenly(n_rows: int, n_parts: int) -> list[tuple[int, int]]:
 
     Used to scatter the rows a slice group owns across its members after a
     Reduce-Scatter (the ``Q`` distribution of Algorithm 3).
+
+    Example
+    -------
+    >>> split_rows_evenly(7, 3)
+    [(0, 3), (3, 5), (5, 7)]
     """
     if n_rows < 0:
         raise ValueError("n_rows must be non-negative")

@@ -24,7 +24,20 @@ __all__ = ["ProcessorGrid"]
 
 
 class ProcessorGrid:
-    """A logical multidimensional processor grid."""
+    """A logical multidimensional processor grid.
+
+    Example
+    -------
+    >>> grid = ProcessorGrid((2, 3))
+    >>> grid.size, grid.order
+    (6, 2)
+    >>> grid.coordinate(4)
+    (1, 1)
+    >>> grid.rank((1, 1))
+    4
+    >>> grid.slice_groups(0)          # ranks sharing the mode-0 coordinate
+    [[0, 1, 2], [3, 4, 5]]
+    """
 
     def __init__(self, dims: Sequence[int]):
         dims = tuple(check_positive_int(int(d), "grid dimension") for d in dims)
@@ -113,6 +126,11 @@ class ProcessorGrid:
 
         Each group holds ``I_mode`` ranks that differ only in their ``mode``-th
         coordinate (useful for mode-wise broadcast patterns).
+
+        Example
+        -------
+        >>> ProcessorGrid((2, 2)).fiber_groups(1)
+        [[0, 1], [2, 3]]
         """
         if not 0 <= mode < self.order:
             raise ValueError(f"mode {mode} out of range for order-{self.order} grid")
@@ -135,6 +153,11 @@ class ProcessorGrid:
         Factorizes ``n_procs`` into prime factors and assigns each factor to
         the mode with the largest current per-processor block, mirroring the
         grid choices used in the paper's weak-scaling study.
+
+        Example
+        -------
+        >>> ProcessorGrid.for_tensor((64, 16, 16), 8).dims
+        (8, 1, 1)
         """
         n_procs = check_positive_int(n_procs, "n_procs")
         shape = [int(s) for s in shape]

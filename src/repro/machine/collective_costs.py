@@ -24,6 +24,7 @@ __all__ = [
     "reduce_scatter_cost",
     "all_reduce_cost",
     "broadcast_cost",
+    "als_sweep_collective_cost",
 ]
 
 
@@ -64,3 +65,60 @@ def broadcast_cost(n_words: float, n_procs: int) -> Tuple[float, float]:
     _validate(n_words, n_procs)
     delta = 1.0 if n_procs > 1 else 0.0
     return _log2_ceil(n_procs), n_words * delta
+
+
+def als_sweep_collective_cost(
+    shape: Tuple[int, ...],
+    grid_dims: Tuple[int, ...],
+    rank: int,
+    block_rows: Tuple[int, ...] | None = None,
+) -> Tuple[float, float]:
+    """Aggregate (messages, words) of the collectives of one Algorithm-3 sweep.
+
+    Per mode ``i``: one Reduce-Scatter and one All-Gather of the padded factor
+    block (``block_rows_i * R`` words) within the ``P / I_i``-rank slice
+    group, plus one ``R x R`` Gram All-Reduce over all ``P`` ranks.
+
+    The payloads depend only on the factor geometry — the number of *rows* a
+    block spans times ``R`` — never on the dense volume of the tensor block.
+    This is the sparse-aware accounting: a sparse tensor distributed by a
+    non-uniform partitioner communicates exactly its (padded) factor rows, so
+    pass the partition's padded extents as ``block_rows``
+    (:attr:`repro.grid.balance.TensorPartition.padded_extents`); the default
+    reproduces the paper's uniform ``ceil(s_i / I_i)`` dense blocks.
+
+    Example
+    -------
+    >>> messages, words = als_sweep_collective_cost((8, 8), (2, 2), rank=4)
+    >>> messages, words
+    (12.0, 128.0)
+    """
+    if len(shape) != len(grid_dims):
+        raise ValueError("shape and grid_dims must have equal length")
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    n_procs = 1
+    for d in grid_dims:
+        if d <= 0:
+            raise ValueError("grid dimensions must be positive")
+        n_procs *= int(d)
+    if block_rows is None:
+        from repro.grid.distribution import padded_block_size
+
+        block_rows = tuple(padded_block_size(s, d) for s, d in zip(shape, grid_dims))
+    if len(block_rows) != len(shape):
+        raise ValueError("block_rows must give one padded height per mode")
+    messages = 0.0
+    words = 0.0
+    for s, d, b in zip(shape, grid_dims, block_rows):
+        group = n_procs // int(d)
+        m, w = reduce_scatter_cost(int(b) * rank, group)
+        messages += m
+        words += w
+        m, w = all_gather_cost(int(b) * rank, group)
+        messages += m
+        words += w
+        m, w = all_reduce_cost(rank * rank, n_procs)
+        messages += m
+        words += w
+    return messages, words

@@ -51,7 +51,7 @@ class CooTensor:
         Target floating dtype of ``values`` (default float64).
     """
 
-    __slots__ = ("indices", "values", "shape")
+    __slots__ = ("indices", "values", "shape", "_mode_nnz_cache")
 
     def __init__(
         self,
@@ -102,6 +102,7 @@ class CooTensor:
         self.indices = idx
         self.values = np.ascontiguousarray(vals)
         self.shape = shape
+        self._mode_nnz_cache = {}
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -113,6 +114,7 @@ class CooTensor:
         out.indices = indices
         out.values = values
         out.shape = shape
+        out._mode_nnz_cache = {}
         return out
 
     @classmethod
@@ -153,7 +155,10 @@ class CooTensor:
         # narrowing can overflow finite values to inf; keep the invariant
         if not np.isfinite(values).all():
             raise ValueError(f"values become non-finite when cast to {target}")
-        return CooTensor._from_canonical(self.indices, values, self.shape)
+        out = CooTensor._from_canonical(self.indices, values, self.shape)
+        # the index pattern is shared, so the per-mode histograms are too
+        out._mode_nnz_cache = self._mode_nnz_cache
+        return out
 
     def copy(self) -> "CooTensor":
         return CooTensor._from_canonical(self.indices.copy(), self.values.copy(),
@@ -202,16 +207,30 @@ class CooTensor:
 
     # -- per-mode nonzero statistics ------------------------------------------
     def mode_nnz(self, mode: int) -> np.ndarray:
-        """Number of nonzeros in each mode-``mode`` slice (length ``shape[mode]``)."""
+        """Number of nonzeros in each mode-``mode`` slice (length ``shape[mode]``).
+
+        The tensor is immutable, so the histogram is computed once per mode
+        and cached (the load balancers of :mod:`repro.grid.balance` and
+        :meth:`stats` consult it repeatedly); the returned array is read-only.
+        """
         mode = check_mode(mode, self.ndim)
-        return np.bincount(self.indices[:, mode], minlength=self.shape[mode])
+        cached = self._mode_nnz_cache.get(mode)
+        if cached is None:
+            cached = np.bincount(self.indices[:, mode], minlength=self.shape[mode])
+            cached.flags.writeable = False
+            self._mode_nnz_cache[mode] = cached
+        return cached
 
     def empty_slices(self, mode: int) -> np.ndarray:
         """Indices along ``mode`` whose slice holds no nonzeros."""
         return np.flatnonzero(self.mode_nnz(mode) == 0)
 
     def stats(self) -> dict:
-        """Summary statistics: global nnz/density plus per-mode slice counts."""
+        """Summary statistics: global nnz/density plus per-mode slice counts.
+
+        Built from the cached :meth:`mode_nnz` histograms, so repeated calls
+        (e.g. one per partitioner candidate) never re-scan the nonzeros.
+        """
         per_mode = []
         for mode in range(self.ndim):
             counts = self.mode_nnz(mode)

@@ -23,14 +23,14 @@ Every engine exists on both tensor backends; :func:`make_provider` dispatches
 by input type.  The support matrix (engine name x backend, with the class that
 serves it):
 
-========== ============================ =========================================
-name       dense ``np.ndarray``         sparse :class:`~repro.sparse.CooTensor`
-========== ============================ =========================================
-``naive``  :class:`NaiveMTTKRP`         :class:`SparseCooMTTKRP` (``O(nnz R N)``)
-``unfolding`` :class:`UnfoldingMTTKRP`  :class:`SparseUnfoldingMTTKRP` (CSR)
-``dt``     :class:`DimensionTreeMTTKRP` :class:`SparseDimensionTreeMTTKRP` (CSF)
-``msdt``   :class:`MultiSweepDimensionTree` :class:`SparseMultiSweepDimensionTree`
-========== ============================ =========================================
+============= ================================ ==========================================
+name          dense ``np.ndarray``             sparse :class:`~repro.sparse.CooTensor`
+============= ================================ ==========================================
+``naive``     :class:`NaiveMTTKRP`             :class:`SparseCooMTTKRP` (``O(nnz R N)``)
+``unfolding`` :class:`UnfoldingMTTKRP`         :class:`SparseUnfoldingMTTKRP` (CSR)
+``dt``        :class:`DimensionTreeMTTKRP`     :class:`SparseDimensionTreeMTTKRP` (CSF)
+``msdt``      :class:`MultiSweepDimensionTree` :class:`SparseMultiSweepDimensionTree`
+============= ================================ ==========================================
 
 On dense inputs the trees win once ``N >= 3`` (they are the paper's headline
 algorithms); on sparse inputs ``naive`` wins for one-shot MTTKRPs (nothing to

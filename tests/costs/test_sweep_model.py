@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.costs.sweep_model import MODELED_METHODS, sweep_time_model
+from repro.costs.sweep_model import (
+    MODELED_METHODS,
+    SPARSE_MODELED_METHODS,
+    sparse_sweep_time_model,
+    sweep_time_model,
+)
 from repro.machine.params import MachineParams
 
 
@@ -86,3 +91,60 @@ class TestInterface:
 
     def test_default_params_used_when_omitted(self):
         assert sweep_time_model("dt", 50, 3, 20, 8).total_seconds > 0
+
+
+class TestSparseSweepModel:
+    SHAPE = (400, 400, 400)
+    GRID = (4, 4, 4)
+
+    def test_trees_amortize_recompute(self):
+        times = {
+            m: sparse_sweep_time_model(m, 1e6, self.SHAPE, 64, self.GRID).total_seconds
+            for m in SPARSE_MODELED_METHODS
+        }
+        assert times["dt"] < times["naive"]
+        assert times["msdt"] < times["naive"]
+
+    def test_compute_scales_with_nnz_not_volume(self):
+        small = sparse_sweep_time_model("dt", 1e5, self.SHAPE, 64, self.GRID)
+        bigger_volume = sparse_sweep_time_model(
+            "dt", 1e5, (4000, 4000, 4000), 64, self.GRID
+        )
+        # same nnz, 1000x the dense volume: kernel terms unchanged
+        assert bigger_volume.ttm_seconds == small.ttm_seconds
+        assert bigger_volume.mttv_seconds == small.mttv_seconds
+        more_nnz = sparse_sweep_time_model("dt", 1e6, self.SHAPE, 64, self.GRID)
+        assert more_nnz.ttm_seconds > small.ttm_seconds
+
+    def test_imbalance_slows_the_critical_path(self):
+        balanced = sparse_sweep_time_model("msdt", 1e6, self.SHAPE, 64, self.GRID)
+        skewed = sparse_sweep_time_model("msdt", 1e6, self.SHAPE, 64, self.GRID,
+                                         imbalance=3.0)
+        assert skewed.ttm_seconds > balanced.ttm_seconds
+        # factor-sized terms (solves, collectives) are unaffected
+        assert skewed.solve_seconds == balanced.solve_seconds
+        assert skewed.communication_seconds == balanced.communication_seconds
+
+    def test_padded_block_rows_cost_communication(self):
+        base = sparse_sweep_time_model("dt", 1e6, self.SHAPE, 64, self.GRID)
+        padded = sparse_sweep_time_model("dt", 1e6, self.SHAPE, 64, self.GRID,
+                                         block_rows=(300, 300, 300))
+        assert padded.communication_seconds > base.communication_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparse_sweep_time_model("planc", 1e6, self.SHAPE, 64, self.GRID)
+        with pytest.raises(ValueError):
+            sparse_sweep_time_model("dt", 1e6, self.SHAPE, 64, self.GRID, imbalance=0.5)
+        with pytest.raises(ValueError):
+            sparse_sweep_time_model("dt", 1e6, (8,), 64, (2,))
+        with pytest.raises(ValueError):
+            sparse_sweep_time_model("dt", 1e6, self.SHAPE, 64, self.GRID,
+                                    fiber_ratio=2.0)
+
+    def test_breakdown_sums(self):
+        breakdown = sparse_sweep_time_model("msdt", 1e5, self.SHAPE, 32, self.GRID)
+        assert breakdown.method == "sparse-msdt"
+        assert breakdown.total_seconds == pytest.approx(
+            sum(breakdown.category_seconds().values())
+        )

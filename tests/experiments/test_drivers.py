@@ -16,7 +16,9 @@ from repro.experiments.table1 import table1_rows
 from repro.experiments.weak_scaling import (
     PAPER_GRIDS_ORDER3,
     PAPER_GRIDS_ORDER4,
+    executed_sparse_weak_scaling,
     executed_weak_scaling,
+    modeled_sparse_weak_scaling,
     modeled_weak_scaling,
 )
 
@@ -78,6 +80,31 @@ class TestWeakScalingDriver:
         data = points[0].asdict()
         assert data["grid"] == "2x2x2"
         assert data["method"] == "dt"
+
+
+class TestSparseWeakScalingDriver:
+    def test_modeled_covers_all_methods(self):
+        points = modeled_sparse_weak_scaling(3, 10_000, 50, 16,
+                                             grids=[(1, 1, 1), (2, 2, 2)])
+        assert len(points) == 2 * 3
+        assert {p.method for p in points} == {"sparse-naive", "sparse-dt", "sparse-msdt"}
+        assert all(p.per_sweep_seconds > 0 for p in points)
+
+    def test_modeled_default_grid_lists(self):
+        points = modeled_sparse_weak_scaling(3, 10_000, 400, 64)
+        assert len(points) == len(PAPER_GRIDS_ORDER3) * 3
+
+    def test_executed_small_scale(self):
+        points = executed_sparse_weak_scaling(
+            3, 200, 8, 4, grids=[(1, 1, 1), (2, 1, 1)], n_sweeps=2, seed=0,
+        )
+        assert len(points) == 2 * 3
+        assert all(p.source == "executed" for p in points)
+        assert all(p.per_sweep_seconds >= 0 for p in points)
+
+    def test_executed_wrong_grid_order_raises(self):
+        with pytest.raises(ValueError):
+            executed_sparse_weak_scaling(3, 200, 8, 4, grids=[(2, 2)], n_sweeps=1)
 
 
 class TestBreakdownDriver:

@@ -7,6 +7,7 @@ import pytest
 from repro.machine.collective_costs import (
     all_gather_cost,
     all_reduce_cost,
+    als_sweep_collective_cost,
     broadcast_cost,
     reduce_scatter_cost,
 )
@@ -48,3 +49,43 @@ class TestCollectiveCosts:
     def test_zero_procs_raise(self):
         with pytest.raises(ValueError):
             reduce_scatter_cost(10, 0)
+
+
+class TestAlsSweepCollectiveCost:
+    def test_matches_manual_composition(self):
+        rank = 4
+        shape, dims = (8, 8), (2, 2)
+        messages, words = als_sweep_collective_cost(shape, dims, rank)
+        expect_m = expect_w = 0.0
+        for s, d in zip(shape, dims):
+            group = 4 // d
+            for m, w in (reduce_scatter_cost(4 * rank, group),
+                         all_gather_cost(4 * rank, group),
+                         all_reduce_cost(rank * rank, 4)):
+                expect_m += m
+                expect_w += w
+        assert (messages, words) == (expect_m, expect_w)
+
+    def test_payloads_follow_block_rows_not_volume(self):
+        # words are additive over per-mode factor rows; a volume-proportional
+        # payload (the dense block) would grow multiplicatively instead
+        w = {s: als_sweep_collective_cost(s, (2, 2), 8)[1]
+             for s in [(16, 16), (32, 16), (16, 32), (32, 32)]}
+        assert (w[(32, 32)] - w[(16, 16)]
+                == (w[(32, 16)] - w[(16, 16)]) + (w[(16, 32)] - w[(16, 16)]))
+        # padded rows of a skewed partition are charged through block_rows
+        base = als_sweep_collective_cost((16, 16), (2, 2), 8)
+        skewed = als_sweep_collective_cost((16, 16), (2, 2), 8, block_rows=(12, 8))
+        assert skewed[1] > base[1]
+
+    def test_single_rank_grid_is_free(self):
+        messages, words = als_sweep_collective_cost((8, 8, 8), (1, 1, 1), 16)
+        assert messages == 0.0 and words == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            als_sweep_collective_cost((8, 8), (2,), 4)
+        with pytest.raises(ValueError):
+            als_sweep_collective_cost((8, 8), (2, 2), 0)
+        with pytest.raises(ValueError):
+            als_sweep_collective_cost((8, 8), (2, 2), 4, block_rows=(4,))

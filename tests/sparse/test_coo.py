@@ -135,6 +135,32 @@ class TestStatsAndHelpers:
         dup.values[:] = 0.0
         assert coo.norm() > 0.0
 
+    def test_mode_nnz_is_cached(self, monkeypatch):
+        """Regression: stats() used to re-run the bincounts on every call."""
+        coo = CooTensor.from_dense(_random_sparse_dense((6, 5, 4), seed=9))
+        calls = {"n": 0}
+        real_bincount = np.bincount
+
+        def counting_bincount(*args, **kwargs):
+            calls["n"] += 1
+            return real_bincount(*args, **kwargs)
+
+        monkeypatch.setattr(np, "bincount", counting_bincount)
+        first = coo.stats()
+        assert calls["n"] == coo.ndim
+        second = coo.stats()
+        assert calls["n"] == coo.ndim  # no re-scan of the nonzeros
+        assert first == second
+        # repeated mode_nnz calls return the identical read-only array
+        assert coo.mode_nnz(0) is coo.mode_nnz(0)
+        assert not coo.mode_nnz(0).flags.writeable
+
+    def test_astype_shares_histogram_cache(self):
+        coo = CooTensor.from_dense(_random_sparse_dense((5, 4, 3), seed=2))
+        counts = coo.mode_nnz(1)
+        cast = coo.astype(np.float32)
+        assert cast.mode_nnz(1) is counts  # same index pattern, shared cache
+
 
 def test_from_dense_rejects_nan():
     """Regression: NaN fails the |x| > tol mask and used to be dropped silently."""
