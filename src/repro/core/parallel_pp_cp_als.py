@@ -48,7 +48,14 @@ __all__ = ["parallel_pp_cp_als"]
 
 
 def _build_local_pp_operators(state: ParallelState) -> Dict[int, PairwiseOperators]:
-    """Local-PP-init of Algorithm 4 (line 2): one operator set per processor."""
+    """Local-PP-init of Algorithm 4 (line 2): one operator set per processor.
+
+    On sparse per-rank blocks the operators come out of each rank's CSF-based
+    tree provider as semi-sparse descents (:mod:`repro.trees.sparse_pp`) and
+    stay in fiber form — order > 3 blocks no longer materialize the dense
+    ``(s_i, s_j, R)`` pair operators, and intermediates still valid from the
+    preceding exact sweep are reused rank-locally.
+    """
     operators: Dict[int, PairwiseOperators] = {}
     for proc in state.grid.ranks():
         provider = state.providers[proc]

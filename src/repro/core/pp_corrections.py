@@ -18,6 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.contract import resolve_engine
+from repro.trees.sparse_pp import OrientedPairOperator, SemiSparsePairOperator
 
 __all__ = [
     "delta_gram",
@@ -60,7 +61,26 @@ def first_order_correction(
     ``pair_operator`` is oriented ``(s_n, s_i, R)``; the result has shape
     ``(s_n, R)``.  This is a batched TTV, so it is recorded under the paper's
     ``mTTV`` kernel category (the PP approximated step is mTTV bound).
+
+    On the sparse backend the oriented operator is a semi-sparse
+    :class:`~repro.trees.sparse_pp.OrientedPairOperator`; the contraction then
+    runs as a fiber-run segmented reduction over its nonzero fibers without
+    densifying the operator.
     """
+    if isinstance(pair_operator, SemiSparsePairOperator):
+        # a raw operator's orientation is ambiguous whenever s_i == s_j (no
+        # shape error would catch a mode mix-up), so require the caller to
+        # pick one — PairwiseOperators.pair_operator(mode, other) does
+        raise TypeError(
+            "pass an oriented semi-sparse pair operator (use "
+            "PairwiseOperators.pair_operator(mode, other) or "
+            "SemiSparsePairOperator.oriented(lead_axis)), not the raw operator"
+        )
+    if isinstance(pair_operator, OrientedPairOperator):
+        return pair_operator.contract_delta(
+            np.asarray(delta_factor), tracker=tracker, category=category,
+            engine=engine, out=out,
+        )
     pair_operator = np.asarray(pair_operator)
     delta_factor = np.asarray(delta_factor)
     if pair_operator.ndim != 3:

@@ -90,7 +90,11 @@ def pp_cp_als(
         Engine used for the exact sweeps; the paper's implementation uses
         MSDT, which is the default.  On sparse inputs this resolves to the
         CSF-based semi-sparse MSDT (:mod:`repro.trees.sparse_dt`), so the
-        exact sweeps amortize there too.
+        exact sweeps amortize there too — and each PP initialization then
+        builds its operators as semi-sparse descents off that same provider
+        cache (:mod:`repro.trees.sparse_pp`) instead of re-reading the COO
+        nonzeros once per mode pair, keeping the pair operators in fiber
+        form for the approximated sweeps' first-order corrections.
     max_pp_sweeps_per_phase:
         Safety bound on consecutive approximated sweeps within one PP phase.
     """

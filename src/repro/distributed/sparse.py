@@ -192,7 +192,7 @@ class DistSparseTensor:
             for m, part in enumerate(self.partition.modes):
                 start, _ = part.block_range(coord[m])
                 positions = block.indices[:, m] + start
-                global_idx[:, m] = part.inverse_permutation()[positions]
+                global_idx[:, m] = part.global_of_positions(positions)
             all_indices.append(global_idx)
             all_values.append(block.values)
         if not all_indices:

@@ -14,10 +14,10 @@ This module provides pluggable 1-d partitioners for each tensor mode:
 * :func:`nnz_balanced_partition` — contiguous blocks with greedily balanced
   nonzero counts, computed from the per-mode histograms of
   :meth:`repro.sparse.CooTensor.mode_nnz` / ``stats()``.
-* :func:`random_partition` / :func:`cyclic_partition` — a random (or
-  deterministic cyclic) permutation of the slice indices followed by
-  near-equal blocks; destroys locality but balances any marginal skew in
-  expectation.
+* :func:`random_partition` / :func:`cyclic_partition` — a random affine
+  coordinate hash (:class:`HashedModePartition`, no materialized permutation
+  arrays) or a deterministic cyclic interleaving of the slice indices followed
+  by near-equal blocks; destroys locality but balances marginal skew.
 
 A :class:`ModePartition` describes one mode's layout (optional slice
 permutation plus contiguous block boundaries in permuted *position* space);
@@ -44,6 +44,7 @@ Example
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -58,6 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ModePartition",
+    "HashedModePartition",
     "TensorPartition",
     "PartitionReport",
     "uniform_partition",
@@ -162,6 +164,18 @@ class ModePartition:
         pos = self.position_of(indices)
         return pos - self.boundaries[self.block_of(indices)]
 
+    def global_of_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Global slice index of each permuted position (inverse of :meth:`position_of`).
+
+        Subclasses with computed (rather than materialized) layouts override
+        this to invert the position map directly, without an ``O(extent)``
+        lookup table.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if self.permutation is None:
+            return positions
+        return self.inverse_permutation()[positions]
+
     def inverse_permutation(self) -> np.ndarray:
         """Map position -> global slice index (identity when unpermuted)."""
         if self._inverse is None:
@@ -176,7 +190,7 @@ class ModePartition:
     def global_rows_of_block(self, block_index: int) -> np.ndarray:
         """Global slice indices owned by ``block_index``, in position order."""
         start, stop = self.block_range(block_index)
-        return self.inverse_permutation()[start:stop]
+        return self.global_of_positions(np.arange(start, stop, dtype=np.int64))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -272,32 +286,122 @@ def _near_equal_boundaries(extent: int, n_blocks: int) -> np.ndarray:
     return np.array([0] + [stop for _, stop in ranges], dtype=np.int64)
 
 
+class HashedModePartition(ModePartition):
+    """Permutation-free random layout: positions come from a coordinate hash.
+
+    Slice ``i`` is sent to position ``(a * i + b) mod extent`` with
+    ``gcd(a, extent) == 1`` — an affine bijection evaluated on the fly, so the
+    layout carries two integers instead of the ``O(extent)`` permutation (and
+    inverse) arrays the original ``random`` partitioner materialized per mode
+    (the PR-4 ROADMAP follow-up).  The inverse map is the affine hash with
+    ``a^-1 mod extent``, so block reassembly stays array-free as well.
+
+    Example
+    -------
+    >>> part = HashedModePartition(5, [0, 3, 5], multiplier=2, offset=1)
+    >>> part.position_of([0, 1, 2, 3, 4]).tolist()
+    [1, 3, 0, 2, 4]
+    >>> part.global_of_positions(part.position_of([0, 1, 2, 3, 4])).tolist()
+    [0, 1, 2, 3, 4]
+    """
+
+    def __init__(self, extent: int, boundaries: Sequence[int], multiplier: int,
+                 offset: int, name: str = "random"):
+        super().__init__(extent, boundaries, permutation=None, name=name)
+        if self.extent >= 2**31:
+            raise ValueError(
+                "hashed partitions require extent < 2**31 (the affine products "
+                "must fit an int64)"
+            )
+        multiplier = int(multiplier) % self.extent if self.extent > 1 else 1
+        if math.gcd(multiplier, self.extent) != 1:
+            raise ValueError(
+                f"multiplier {multiplier} is not coprime with extent {self.extent}"
+            )
+        self.multiplier = multiplier
+        self.offset = int(offset) % self.extent
+        self._inv_multiplier = pow(self.multiplier, -1, self.extent)
+
+    def position_of(self, indices: np.ndarray) -> np.ndarray:
+        """Hashed position ``(a * i + b) mod extent`` of each slice index."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return (self.multiplier * indices + self.offset) % self.extent
+
+    def global_of_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Invert the hash: ``i = a^-1 * (p - b) mod extent``."""
+        positions = np.asarray(positions, dtype=np.int64)
+        return (self._inv_multiplier * (positions - self.offset)) % self.extent
+
+    def inverse_permutation(self) -> np.ndarray:
+        """Materialized position -> global map (compatibility/debugging only)."""
+        if self._inverse is None:
+            self._inverse = self.global_of_positions(
+                np.arange(self.extent, dtype=np.int64)
+            )
+        return self._inverse
+
+
 def random_partition(extent: int, n_blocks: int,
                      seed: int | np.random.Generator | None = None) -> ModePartition:
-    """Random slice permutation followed by near-equal contiguous blocks.
+    """Random coordinate hash followed by near-equal contiguous blocks.
 
-    The hash-style partitioner: every block receives a uniformly random
-    subset of slices, so *any* marginal nonzero skew is balanced in
-    expectation — including adversarial ones a contiguous partition cannot
-    split — at the price of destroying slice locality.  Deterministic given
-    ``seed``.
+    The hash-style partitioner: slices are scattered by a random affine
+    bijection (:class:`HashedModePartition`), so marginal nonzero skew is
+    broken up without any per-slice state — including skews a contiguous
+    partition cannot split — at the price of destroying slice locality.
+    Deterministic given ``seed``.
+
+    Degenerate multipliers (1 and ``extent - 1``: a shift / a reflection,
+    which keep contiguous runs contiguous) are avoided whenever the extent
+    admits any other coprime; extents whose *only* coprimes are those two
+    (e.g. 4 and 6) necessarily fall back to them, so contiguous skews on such
+    tiny modes may survive — prefer ``cyclic`` or ``nnz-balanced`` there.
+
+    .. note::
+       Since the hashed rewrite, the layout is computed from two drawn
+       integers instead of a materialized ``rng.permutation`` array, so a
+       given seed assigns slices *differently* than the earlier
+       permutation-array implementation did (the regression suite pins the
+       new assignments).  Memory per mode drops from ``O(extent)`` to
+       ``O(1)``.
 
     Example
     -------
     >>> part = random_partition(6, 3, seed=0)
     >>> sorted(part.widths().tolist())
     [2, 2, 2]
+    >>> np.array_equal(random_partition(6, 3, seed=0).block_of(np.arange(6)),
+    ...                part.block_of(np.arange(6)))
+    True
     """
     extent = int(extent)
     n_blocks = int(n_blocks)
     if extent <= 0 or n_blocks <= 0:
         raise ValueError("extent and n_blocks must be positive")
     rng = as_rng(seed)
-    inverse = rng.permutation(extent).astype(np.int64)  # position -> global
-    perm = np.empty(extent, dtype=np.int64)
-    perm[inverse] = np.arange(extent, dtype=np.int64)
-    return ModePartition(extent, _near_equal_boundaries(extent, n_blocks),
-                         permutation=perm, name="random")
+    if extent == 1:
+        multiplier, offset = 1, 0
+    else:
+        # multipliers 1 and extent-1 are degenerate (a shift / a reflection —
+        # contiguous heavy runs stay contiguous, defeating the scatter), so
+        # prefer a non-trivial coprime; some extents (e.g. 4 and 6) have no
+        # other coprime at all, hence the bounded retry with fallback
+        multiplier = None
+        for _ in range(64):
+            candidate = int(rng.integers(1, extent))
+            if math.gcd(candidate, extent) != 1:
+                continue
+            if candidate in (1, extent - 1) and extent > 3:
+                multiplier = multiplier or candidate  # fallback, keep drawing
+                continue
+            multiplier = candidate
+            break
+        if multiplier is None or math.gcd(multiplier, extent) != 1:
+            multiplier = 1
+        offset = int(rng.integers(0, extent))
+    return HashedModePartition(extent, _near_equal_boundaries(extent, n_blocks),
+                               multiplier=multiplier, offset=offset,
+                               name="random")
 
 
 def cyclic_partition(extent: int, n_blocks: int) -> ModePartition:

@@ -39,7 +39,11 @@ is reused for ``~N/2`` — DT — or ``N-1`` — MSDT — mode updates), and
 ``unfolding`` only for tensors small enough to afford the dense Khatri-Rao
 workspace.  The shared DT/MSDT control flow lives in
 :mod:`repro.trees.amortized`; the sparse semi-sparse descent in
-:mod:`repro.trees.sparse_dt`.
+:mod:`repro.trees.sparse_dt`.  On sparse inputs the PP operators of
+:class:`PairwiseOperators` are themselves semi-sparse
+(:mod:`repro.trees.sparse_pp`): built as tree descents off the provider's CSF
+fiber cache and kept as fiber-id × ``R`` blocks so the first-order
+corrections never densify them.
 """
 
 from repro.trees.base import MTTKRPProvider
@@ -54,6 +58,11 @@ from repro.trees.sparse_dt import (
     SemiSparseIntermediate,
     SparseDimensionTreeMTTKRP,
     SparseMultiSweepDimensionTree,
+)
+from repro.trees.sparse_pp import (
+    OrientedPairOperator,
+    SemiSparsePairOperator,
+    build_semi_sparse_operators,
 )
 from repro.trees.registry import make_provider, available_providers
 
@@ -72,6 +81,9 @@ __all__ = [
     "SemiSparseIntermediate",
     "SparseDimensionTreeMTTKRP",
     "SparseMultiSweepDimensionTree",
+    "OrientedPairOperator",
+    "SemiSparsePairOperator",
+    "build_semi_sparse_operators",
     "make_provider",
     "available_providers",
 ]

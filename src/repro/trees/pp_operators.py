@@ -23,22 +23,33 @@ import numpy as np
 
 from repro.backend import is_sparse_tensor
 from repro.contract import resolve_engine
-from repro.sparse.mttkrp import sparse_mttkrp, sparse_partial_mttkrp
 from repro.trees.base import MTTKRPProvider
 from repro.trees.cache import ContractionCache
 from repro.trees.descent import ascending_order, descend
+from repro.trees.sparse_dt import SparseTreeBackend
+from repro.trees.sparse_pp import (
+    OrientedPairOperator,
+    SemiSparsePairOperator,
+    build_semi_sparse_operators,
+)
 from repro.utils.validation import check_factor_matrices
 
 __all__ = ["PairwiseOperators"]
 
 
 class PairwiseOperators:
-    """Container for the PP operators built at a factor checkpoint ``A_p``."""
+    """Container for the PP operators built at a factor checkpoint ``A_p``.
+
+    Pair operators are dense ``(s_i, s_j, R)`` arrays on the dense backend and
+    :class:`~repro.trees.sparse_pp.SemiSparsePairOperator` fiber blocks on the
+    sparse one (``np.asarray`` densifies either); single operators are always
+    dense ``(s_n, R)`` matrices.
+    """
 
     def __init__(
         self,
         checkpoint_factors: Sequence[np.ndarray],
-        pair_ops: Mapping[tuple[int, int], np.ndarray],
+        pair_ops: Mapping[tuple[int, int], np.ndarray | SemiSparsePairOperator],
         single_ops: Mapping[int, np.ndarray],
     ):
         # preserve the caller's working dtype (float32 runs stay float32)
@@ -46,7 +57,7 @@ class PairwiseOperators:
         self.order = len(self.checkpoint_factors)
         self._pairs = dict(pair_ops)
         self._singles = dict(single_ops)
-        for (i, j), arr in self._pairs.items():
+        for (i, j), op in self._pairs.items():
             if not 0 <= i < j < self.order:
                 raise ValueError(f"invalid pair key {(i, j)}")
             expected = (
@@ -54,9 +65,9 @@ class PairwiseOperators:
                 self.checkpoint_factors[j].shape[0],
                 self.rank,
             )
-            if arr.shape != expected:
+            if op.shape != expected:
                 raise ValueError(
-                    f"pair operator {(i, j)} has shape {arr.shape}, expected {expected}"
+                    f"pair operator {(i, j)} has shape {op.shape}, expected {expected}"
                 )
         for n, arr in self._singles.items():
             expected = (self.checkpoint_factors[n].shape[0], self.rank)
@@ -74,20 +85,36 @@ class PairwiseOperators:
         """``M_p^(mode)`` — the MTTKRP at the checkpoint factors."""
         return self._singles[mode]
 
-    def pair_operator(self, mode: int, other: int) -> np.ndarray:
-        """``M_p^(mode, other)`` oriented with ``mode`` first: shape ``(s_mode, s_other, R)``."""
+    def pair_operator(self, mode: int, other: int) -> np.ndarray | OrientedPairOperator:
+        """``M_p^(mode, other)`` oriented with ``mode`` first: shape ``(s_mode, s_other, R)``.
+
+        Dense operators come back as arrays (a transposed view when
+        ``mode > other``); semi-sparse ones as a zero-copy
+        :class:`~repro.trees.sparse_pp.OrientedPairOperator`.
+        """
         if mode == other:
             raise ValueError("pair operator requires two distinct modes")
+        key = (mode, other) if mode < other else (other, mode)
+        op = self._pairs[key]
+        if isinstance(op, SemiSparsePairOperator):
+            return op.oriented(0 if mode < other else 1)
         if mode < other:
-            return self._pairs[(mode, other)]
-        return np.transpose(self._pairs[(other, mode)], (1, 0, 2))
+            return op
+        return np.transpose(op, (1, 0, 2))
 
-    def pairs(self) -> dict[tuple[int, int], np.ndarray]:
+    def pairs(self) -> dict[tuple[int, int], np.ndarray | SemiSparsePairOperator]:
         return dict(self._pairs)
 
     def memory_words(self) -> int:
-        """Total auxiliary memory (in 8-byte words) held by the operators."""
-        total = sum(arr.size for arr in self._pairs.values())
+        """Total auxiliary memory (in 8-byte words) held by the operators.
+
+        Semi-sparse pair operators count their fiber ids and rank blocks —
+        the memory they actually hold — not the dense shape they stand for.
+        """
+        total = sum(
+            op.memory_words() if isinstance(op, SemiSparsePairOperator) else op.size
+            for op in self._pairs.values()
+        )
         total += sum(arr.size for arr in self._singles.values())
         return int(total)
 
@@ -112,8 +139,11 @@ class PairwiseOperators:
 
         ``tensor`` may be a dense ndarray or a sparse
         :class:`repro.sparse.CooTensor`; sparse inputs build every operator
-        through the ``O(nnz * R * N)`` gather/scatter kernels (no intermediate
-        sharing with the provider's cache — sparse trees are a ROADMAP item).
+        as semi-sparse descents over the CSF fiber cache
+        (:func:`repro.trees.sparse_pp.build_semi_sparse_operators`) — when the
+        ``provider`` is one of the sparse dimension trees, its versioned
+        intermediate cache and pattern-only CSF structures are shared exactly
+        like the dense path shares the dense provider's cache.
         """
         sparse = is_sparse_tensor(tensor)
         if not sparse:
@@ -128,30 +158,30 @@ class PairwiseOperators:
 
         if sparse:
             if provider is not None:
-                # no cache sharing on the sparse path (the provider only
-                # donates its engine), so shape compatibility is sufficient
-                if provider.tensor.shape != tensor.shape:
+                # sharing is only sound when the provider was built from this
+                # very data: identity is the fast path (the drivers hand the
+                # provider's own tensor back), else compare the COO payload
+                same = provider.tensor is tensor or (
+                    provider.tensor.shape == tensor.shape
+                    and np.array_equal(provider.tensor.indices, tensor.indices)
+                    and np.array_equal(provider.tensor.values, tensor.values)
+                )
+                if not same:
                     raise ValueError("provider is bound to a different tensor")
                 if engine is None:
                     engine = provider.engine
-            engine = resolve_engine(engine)
-            pair_ops = {
-                (i, j): sparse_partial_mttkrp(tensor, factors, (i, j),
-                                              tracker=tracker, engine=engine)
-                for i in range(order) for j in range(i + 1, order)
-            }
-            # each single operator is a cheap dense contraction of a pair
-            # operator (Eq. 4): M^(i) = M^(i,j) x_j A^(j) — no second
-            # O(nnz R N) pass over the nonzeros needed
-            single_ops: dict[int, np.ndarray] = {}
-            for n in range(order):
-                if n < order - 1:
-                    pair, other = pair_ops[(n, n + 1)], n + 1
-                    spec = "abr,br->ar"
-                else:
-                    pair, other = pair_ops[(n - 1, n)], n - 1
-                    spec = "abr,ar->br"
-                single_ops[n] = engine.contract(spec, pair, factors[other])
+            tree = provider if isinstance(provider, SparseTreeBackend) else None
+            if tree is not None:
+                for a, b in zip(tree.factors, factors):
+                    if a.shape != b.shape or not np.array_equal(a, b):
+                        raise ValueError(
+                            "provider factors must equal the checkpoint factors "
+                            "when sharing its cache"
+                        )
+            pair_ops, single_ops = build_semi_sparse_operators(
+                tensor, factors, tracker=tracker, provider=tree,
+                max_cache_bytes=max_cache_bytes, engine=engine,
+            )
             return cls([f.copy() for f in factors], pair_ops, single_ops)
 
         if provider is not None:

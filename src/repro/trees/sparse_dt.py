@@ -243,20 +243,31 @@ class SparseTreeBackend(AmortizedTreeMTTKRP):
                                       fibers=step.child_fibers, block=block)
 
     # -- backend hooks -------------------------------------------------------
-    def _descend_from(
+    def _descend_semi(
         self,
         start_modes: Sequence[int],
         start_intermediate: SemiSparseIntermediate | None,
         base_versions: Mapping[int, int],
         order_list: Sequence[int],
-    ) -> np.ndarray:
+    ) -> SemiSparseIntermediate:
+        """Contract ``order_list`` away, returning the semi-sparse result.
+
+        Every intermediate produced along the way is inserted into the
+        versioned cache, so later descents — a sweep's next mode update *or* a
+        pairwise-perturbation operator build — resume from the deepest valid
+        ancestor.  The target mode set may therefore have any size >= 1; the
+        MTTKRP path finalizes single-mode results, the PP operator builder
+        (:mod:`repro.trees.sparse_pp`) densifies pairs.
+        """
         remaining = sorted(int(m) for m in start_modes)
         versions_used = dict(base_versions)
         order_list = [int(k) for k in order_list]
         semi = start_intermediate
         if semi is None:
-            # descents from the raw tensor always contract at least one mode
-            # (order >= 2 and the target is a single leaf)
+            if not order_list:
+                raise ValueError(
+                    "a descent from the raw tensor must contract at least one mode"
+                )
             k0 = order_list[0]
             semi = self._root_contract(k0)
             versions_used[k0] = self.versions[k0]
@@ -268,7 +279,19 @@ class SparseTreeBackend(AmortizedTreeMTTKRP):
             versions_used[k] = self.versions[k]
             remaining.remove(k)
             self.cache.put(remaining, semi, versions_used)
-        return self._finalize(semi)
+        return semi
+
+    def _descend_from(
+        self,
+        start_modes: Sequence[int],
+        start_intermediate: SemiSparseIntermediate | None,
+        base_versions: Mapping[int, int],
+        order_list: Sequence[int],
+    ) -> np.ndarray:
+        return self._finalize(
+            self._descend_semi(start_modes, start_intermediate, base_versions,
+                               order_list)
+        )
 
     def _finalize(self, semi: SemiSparseIntermediate) -> np.ndarray:
         """Densify the single-mode intermediate into the ``(s_mode, R)`` MTTKRP."""

@@ -1,0 +1,400 @@
+"""Semi-sparse pairwise-perturbation operators off the CSF fiber cache.
+
+The PP initialization step needs every pairwise operator ``M_p^(i,j)`` (Eq. 4
+with two kept modes) at a factor checkpoint.  Over a sparse tensor each one is
+a partially contracted MTTKRP, and — exactly like the sweep intermediates of
+:mod:`repro.trees.sparse_dt` — it is *semi-sparse*: only the distinct
+``(i, j)`` coordinate pairs that carry at least one nonzero have nonzero
+``R``-vectors.  The builder here therefore walks the same descent machinery as
+the sparse dimension trees instead of re-reading the raw COO nonzeros once per
+pair:
+
+* descents start at the deepest still-valid intermediate in the provider's
+  versioned :class:`~repro.trees.cache.ContractionCache` (first-level
+  intermediates left over from the preceding DT/MSDT sweep are free, footnote
+  1 of the paper);
+* root contractions come off the cached :class:`~repro.sparse.csf.CsfTensor`
+  layouts and fiber contractions off the cached per-``(S, k)`` regroupings —
+  both pattern-only structures built once per provider lifetime;
+* non-target modes are contracted in ascending order
+  (:func:`~repro.trees.descent.ascending_order`), so the ``binom(l+1, 2)``
+  intermediates of the paper's PP tree (Fig. 1b) are shared across the pair
+  requests through the cache.
+
+Checkpoint setup thus drops from ``binom(N, 2)`` independent
+``O(nnz * R * (N - 2))`` passes over the nonzeros to ``N - 1`` root
+contractions plus fiber-level work — the same tree amortization the paper
+proves for the dense PP tree, now on the sparse backend.
+
+The pair operators themselves *stay semi-sparse*: a
+:class:`SemiSparsePairOperator` holds the sorted ``(n_fibers, 2)`` coordinate
+matrix and the ``(n_fibers, R)`` dense block, and contracts the first-order
+corrections ``U^(n,i)`` (Eq. 6) as fiber-run segmented reductions without ever
+materializing the dense ``(s_i, s_j, R)`` array — which is what keeps padded
+per-rank blocks of order > 3 tensors from densifying in
+:func:`~repro.core.parallel_pp_cp_als.parallel_pp_cp_als`.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.sparse import CooTensor
+>>> from repro.tensor.mttkrp import mttkrp, partial_mttkrp
+>>> from repro.trees.sparse_pp import build_semi_sparse_operators
+>>> rng = np.random.default_rng(0)
+>>> dense = rng.random((4, 3, 3)) * (rng.random((4, 3, 3)) < 0.5)
+>>> coo = CooTensor.from_dense(dense)
+>>> factors = [rng.random((s, 2)) for s in coo.shape]
+>>> pairs, singles = build_semi_sparse_operators(coo, factors)
+>>> sorted(pairs)
+[(0, 1), (0, 2), (1, 2)]
+>>> bool(np.allclose(pairs[0, 1].densify(),
+...                  partial_mttkrp(dense, factors, [0, 1]), atol=1e-12))
+True
+>>> bool(np.allclose(singles[2], mttkrp(dense, factors, 2), atol=1e-12))
+True
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.contract import resolve_engine
+from repro.sparse.coo import CooTensor
+from repro.sparse.csf import run_starts, segment_reduce
+from repro.trees.descent import ascending_order
+from repro.trees.sparse_dt import SparseDimensionTreeMTTKRP, SparseTreeBackend
+
+__all__ = [
+    "SemiSparsePairOperator",
+    "OrientedPairOperator",
+    "build_semi_sparse_operators",
+]
+
+
+class SemiSparsePairOperator:
+    """Pairwise operator ``M_p^(i,j)`` restricted to its nonzero fibers.
+
+    ``fibers[f]`` is the ``(i-coordinate, j-coordinate)`` of fiber ``f``
+    (rows lexicographically sorted and unique, the CSF invariant) and
+    ``block[f]`` its ``R``-vector; every row of the dense ``(s_i, s_j, R)``
+    operator outside those fibers is exactly zero.  The object is immutable
+    after construction — a checkpoint operator must not drift while the PP
+    approximated sweeps update the factors.
+    """
+
+    __slots__ = ("modes", "fibers", "block", "dims", "_groupings")
+
+    def __init__(self, modes: tuple[int, int], fibers: np.ndarray,
+                 block: np.ndarray, dims: tuple[int, int]):
+        i, j = (int(modes[0]), int(modes[1]))
+        if not i < j:
+            raise ValueError(f"pair operator modes must satisfy i < j, got {(i, j)}")
+        if fibers.ndim != 2 or fibers.shape[1] != 2:
+            raise ValueError(f"fibers must have shape (n_fibers, 2), got {fibers.shape}")
+        if block.ndim != 2 or block.shape[0] != fibers.shape[0]:
+            raise ValueError(
+                f"block shape {block.shape} inconsistent with {fibers.shape[0]} fibers"
+            )
+        if fibers.shape[0] > 1:
+            # contract_other's segmented reductions silently assume the CSF
+            # invariant; a violation would drop contributions, not error
+            d0 = np.diff(fibers[:, 0])
+            d1 = np.diff(fibers[:, 1])
+            if not bool(np.all((d0 > 0) | ((d0 == 0) & (d1 > 0)))):
+                raise ValueError(
+                    "fibers must be lexicographically sorted with unique rows"
+                )
+        self.modes = (i, j)
+        self.fibers = fibers
+        self.block = block
+        self.dims = (int(dims[0]), int(dims[1]))
+        # lazy per-axis regroupings (pattern-only): axis -> (perm, starts, coords)
+        self._groupings: dict[int, tuple[np.ndarray | None, np.ndarray, np.ndarray]] = {}
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def n_fibers(self) -> int:
+        """Number of ``(i, j)`` coordinate pairs carrying at least one nonzero."""
+        return int(self.fibers.shape[0])
+
+    @property
+    def rank(self) -> int:
+        """CP rank ``R`` (the trailing axis of the dense operator)."""
+        return int(self.block.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Shape ``(s_i, s_j, R)`` of the dense operator this represents."""
+        return (self.dims[0], self.dims[1], self.rank)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the fiber index matrix and the dense block."""
+        return int(self.fibers.nbytes + self.block.nbytes)
+
+    def memory_words(self) -> int:
+        """Auxiliary memory in 8-byte words (fiber ids + rank block)."""
+        return int(self.fibers.size + self.block.size)
+
+    # -- views ---------------------------------------------------------------
+    def densify(self) -> np.ndarray:
+        """Expand to the full dense ``(s_i, s_j, R)`` operator array."""
+        out = np.zeros(self.shape, dtype=self.block.dtype)
+        if self.n_fibers:
+            out[self.fibers[:, 0], self.fibers[:, 1]] = self.block
+        return out
+
+    def oriented(self, lead_axis: int) -> "OrientedPairOperator":
+        """The operator with fiber axis ``lead_axis`` (0 or 1) leading."""
+        return OrientedPairOperator(self, lead_axis)
+
+    def __array__(self, dtype=None, copy=None):
+        """Densify under ``np.asarray`` (tests and dense consumers)."""
+        dense = self.densify()
+        return dense if dtype is None else dense.astype(dtype)
+
+    # -- contraction ---------------------------------------------------------
+    def _grouping(self, out_axis: int):
+        """Regrouping of the fibers by their ``out_axis`` coordinate.
+
+        Returns ``(perm, starts, coords)``: ``perm`` reorders the fibers so
+        equal output coordinates are adjacent (``None`` for axis 0 — the
+        lexicographic sort already groups them), ``starts`` delimits the runs,
+        ``coords`` is each run's output coordinate.  Pattern-only, computed
+        once per axis and cached for the checkpoint's lifetime.
+        """
+        cached = self._groupings.get(out_axis)
+        if cached is not None:
+            return cached
+        col = self.fibers[:, out_axis]
+        if out_axis == 0:
+            perm = None
+        else:
+            perm = np.argsort(col, kind="stable").astype(np.int64)
+            col = col[perm]
+        starts = run_starts([col], self.n_fibers)
+        coords = (col[starts] if self.n_fibers
+                  else np.zeros(0, dtype=np.int64))
+        self._groupings[out_axis] = (perm, starts, coords)
+        return self._groupings[out_axis]
+
+    def contract_other(
+        self,
+        factor: np.ndarray,
+        out_axis: int,
+        tracker=None,
+        category: str = "mttv",
+        engine=None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Contract ``factor`` over the non-output fiber axis (Eq. 6 kernel).
+
+        ``out_axis`` selects which of the two kept modes survives: the result
+        is the dense ``(dims[out_axis], R)`` matrix
+        ``sum_y M(x, y, k) * factor(y, k)`` — one multiply and one
+        segment-add per fiber per rank column instead of the dense kernel's
+        ``s_i * s_j * R``.
+        """
+        if out_axis not in (0, 1):
+            raise ValueError(f"out_axis must be 0 or 1, got {out_axis}")
+        factor = np.asarray(factor)
+        other = 1 - out_axis
+        if factor.shape != (self.dims[other], self.rank):
+            raise ValueError(
+                f"factor shape {factor.shape} incompatible with pair operator of "
+                f"shape {self.shape} contracted over axis {other}"
+            )
+        eng = resolve_engine(engine)
+        expected = (self.dims[out_axis], self.rank)
+        if out is None:
+            out = np.zeros(expected, dtype=self.block.dtype)
+        else:
+            if out.shape != expected:
+                raise ValueError(f"out must have shape {expected}, got {out.shape}")
+            out.fill(0.0)
+        start = time.perf_counter()
+        if self.n_fibers:
+            rows = factor[self.fibers[:, other]]
+            scaled = eng.contract("fr,fr->fr", self.block, rows)
+            perm, starts, coords = self._grouping(out_axis)
+            if perm is not None:
+                scaled = scaled[perm]
+            out[coords] = segment_reduce(scaled, starts)
+        elapsed = time.perf_counter() - start
+        if tracker is not None:
+            tracker.add_flops(category, 2 * self.n_fibers * self.rank)
+            tracker.add_vertical_words(
+                self.n_fibers * (2 + 2 * self.rank) + out.size
+            )
+            tracker.add_seconds(category, elapsed)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SemiSparsePairOperator(modes={self.modes}, dims={self.dims}, "
+            f"n_fibers={self.n_fibers}, rank={self.rank})"
+        )
+
+
+class OrientedPairOperator:
+    """A :class:`SemiSparsePairOperator` with a chosen leading mode.
+
+    :meth:`repro.trees.pp_operators.PairwiseOperators.pair_operator` returns
+    the operator oriented with the requested mode first; for semi-sparse
+    operators that orientation is this zero-copy view.  It duck-types the
+    dense ``(s_n, s_i, R)`` array where the PP drivers need it:
+    ``shape``/``ndim`` for validation,
+    :meth:`contract_delta` for the first-order correction (dispatched by
+    :func:`repro.core.pp_corrections.first_order_correction`), and
+    ``np.asarray`` densification for oracles and tests.
+    """
+
+    __slots__ = ("operator", "lead_axis")
+
+    #: the dense operator is always a 3-d array
+    ndim = 3
+
+    def __init__(self, operator: SemiSparsePairOperator, lead_axis: int):
+        if lead_axis not in (0, 1):
+            raise ValueError(f"lead_axis must be 0 or 1, got {lead_axis}")
+        self.operator = operator
+        self.lead_axis = int(lead_axis)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Shape of the equivalent dense oriented operator."""
+        s_i, s_j, rank = self.operator.shape
+        return (s_i, s_j, rank) if self.lead_axis == 0 else (s_j, s_i, rank)
+
+    @property
+    def size(self) -> int:
+        """Element count of the equivalent dense operator."""
+        s_lead, s_other, rank = self.shape
+        return s_lead * s_other * rank
+
+    def contract_delta(self, delta_factor: np.ndarray, tracker=None,
+                       category: str = "mttv", engine=None,
+                       out: np.ndarray | None = None) -> np.ndarray:
+        """``U(x, k) = sum_y M(x, y, k) delta(y, k)`` with the lead mode as ``x``."""
+        return self.operator.contract_other(
+            delta_factor, self.lead_axis, tracker=tracker, category=category,
+            engine=engine, out=out,
+        )
+
+    def densify(self) -> np.ndarray:
+        """The dense oriented ``(s_lead, s_other, R)`` operator array."""
+        dense = self.operator.densify()
+        return dense if self.lead_axis == 0 else np.transpose(dense, (1, 0, 2))
+
+    def __array__(self, dtype=None, copy=None):
+        """Densify under ``np.asarray`` (tests and dense consumers)."""
+        dense = self.densify()
+        return dense if dtype is None else dense.astype(dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrientedPairOperator(shape={self.shape}, lead_axis={self.lead_axis})"
+
+
+def build_semi_sparse_operators(
+    tensor: CooTensor,
+    factors: Sequence[np.ndarray],
+    tracker=None,
+    provider: SparseTreeBackend | None = None,
+    max_cache_bytes: int | None = None,
+    engine=None,
+) -> tuple[dict[tuple[int, int], SemiSparsePairOperator], dict[int, np.ndarray]]:
+    """Build all PP operators at ``factors`` as semi-sparse tree descents.
+
+    When ``provider`` is a :class:`~repro.trees.sparse_dt.SparseTreeBackend`
+    bound to this tensor (its factors must already equal ``factors`` — the
+    caller checks), the descents share its versioned intermediate cache *and*
+    its pattern-only structural caches (CSF layouts, fiber regroupings), so a
+    checkpoint taken right after a DT/MSDT sweep starts from the sweep's
+    still-valid intermediates.  Without a provider a standalone descent
+    backend is built from scratch — correct, but the structural caches are
+    then rebuilt (``N - 1`` ``O(nnz log nnz)`` lexsorts) and discarded per
+    call, so repeated checkpoints should go through a tree provider (the
+    ``pp_cp_als`` / ``parallel_pp_cp_als`` default).
+
+    Intermediates produced by the descents land in the (shared) versioned
+    cache under its usual byte budget; they serve later descents within this
+    build and are dropped by the provider's normal stale-entry sweep as soon
+    as the next factor update invalidates them.
+
+    Returns ``(pair_ops, single_ops)``: the pair operators keyed ``(i, j)``
+    with ``i < j`` as :class:`SemiSparsePairOperator`, and the dense
+    ``(s_n, R)`` first-order MTTKRPs ``M_p^(n)``, each obtained from a pair
+    operator by one cheap fiber contraction with the neighbouring factor
+    (Eq. 4: ``M^(n) = M^(n,m) x_m A^(m)`` — no extra pass over the nonzeros).
+    """
+    if provider is not None and not isinstance(provider, SparseTreeBackend):
+        raise TypeError(
+            "build_semi_sparse_operators can only share the cache of a "
+            f"SparseTreeBackend, got {type(provider).__name__}"
+        )
+    if provider is not None:
+        backend = provider
+    else:
+        backend = SparseDimensionTreeMTTKRP(
+            tensor, factors, tracker=tracker,
+            max_cache_bytes=max_cache_bytes, engine=engine,
+        )
+    order = backend.order
+    if order < 3:
+        raise ValueError("pairwise perturbation requires tensors of order >= 3")
+    shape = backend.tensor.shape
+
+    # route the descent's accounting/engine to the build's, restoring after —
+    # the shared provider keeps tracking its own sweeps afterwards
+    prev_tracker, prev_engine = backend.tracker, backend._engine
+    backend.tracker = tracker
+    if engine is not None:
+        backend._engine = engine
+    try:
+        cache, versions = backend.cache, backend.versions
+
+        def _pair_semi(i: int, j: int):
+            targets = {i, j}
+            start = cache.find_valid(versions, targets)
+            if start is None:
+                start_modes: list[int] = list(range(order))
+                start_semi = None
+                base_versions: dict[int, int] = {}
+            else:
+                start_modes = sorted(start.modes)
+                start_semi = start.array
+                base_versions = start.versions_used
+            order_list = ascending_order(start_modes, targets)
+            return backend._descend_semi(start_modes, start_semi,
+                                         base_versions, order_list)
+
+        pair_ops: dict[tuple[int, int], SemiSparsePairOperator] = {}
+        for i in range(order):
+            for j in range(i + 1, order):
+                semi = _pair_semi(i, j)
+                if semi.modes != (i, j):
+                    raise RuntimeError(
+                        f"descent for pair {(i, j)} produced modes {semi.modes}"
+                    )
+                pair_ops[(i, j)] = SemiSparsePairOperator(
+                    modes=(i, j), fibers=semi.fibers, block=semi.block,
+                    dims=(shape[i], shape[j]),
+                )
+
+        single_ops: dict[int, np.ndarray] = {}
+        eng = backend.engine
+        for n in range(order):
+            if n < order - 1:
+                op, other, axis = pair_ops[(n, n + 1)], n + 1, 0
+            else:
+                op, other, axis = pair_ops[(n - 1, n)], n - 1, 1
+            single_ops[n] = op.contract_other(
+                backend.factors[other], axis, tracker=tracker, engine=eng,
+            )
+    finally:
+        backend.tracker = prev_tracker
+        backend._engine = prev_engine
+    return pair_ops, single_ops

@@ -24,6 +24,7 @@ import repro.grid.balance
 import repro.grid.distribution
 import repro.grid.processor_grid
 import repro.machine.collective_costs
+import repro.trees.sparse_pp
 
 DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
 
@@ -35,6 +36,7 @@ AUDITED_MODULES = [
     repro.distributed.dist_factor,
     repro.distributed.sparse,
     repro.machine.collective_costs,
+    repro.trees.sparse_pp,
 ]
 
 
@@ -71,10 +73,11 @@ def test_every_public_name_has_a_docstring():
                     )
 
 
-def test_quickstart_page_examples_run():
-    quickstart = DOCS_DIR / "quickstart.rst"
-    assert quickstart.exists()
-    results = doctest.testfile(str(quickstart), module_relative=False, verbose=False)
+@pytest.mark.parametrize("page", ["quickstart.rst", "engines.rst"])
+def test_docs_page_examples_run(page):
+    path = DOCS_DIR / page
+    assert path.exists()
+    results = doctest.testfile(str(path), module_relative=False, verbose=False)
     assert results.attempted > 0
     assert results.failed == 0
 

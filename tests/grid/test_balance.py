@@ -85,7 +85,52 @@ class TestPartitioners:
     def test_random_is_deterministic_given_seed(self):
         a = random_partition(10, 3, seed=42)
         b = random_partition(10, 3, seed=42)
-        assert np.array_equal(a.permutation, b.permutation)
+        idx = np.arange(10)
+        assert np.array_equal(a.block_of(idx), b.block_of(idx))
+        assert np.array_equal(a.local_offset(idx), b.local_offset(idx))
+
+    def test_random_hash_pins_known_assignments(self):
+        """Regression pin of the hashed-layout assignments (the scheme changed
+        from materialized ``rng.permutation`` arrays to an affine coordinate
+        hash; these golden values keep the *new* scheme stable)."""
+        part = random_partition(10, 3, seed=42)
+        assert part.permutation is None  # nothing materialized
+        assert part.multiplier == 7 and part.offset == 6
+        assert part.position_of(np.arange(10)).tolist() == \
+            [6, 3, 0, 7, 4, 1, 8, 5, 2, 9]
+        assert part.block_of(np.arange(10)).tolist() == \
+            [1, 0, 0, 2, 1, 0, 2, 1, 0, 2]
+
+    def test_random_avoids_degenerate_multipliers(self):
+        """Multipliers 1 and extent-1 (shift / reflection) keep contiguous
+        heavy slice runs contiguous, so they are rejected whenever the extent
+        admits any other coprime."""
+        for extent in (5, 7, 10, 12, 50, 200):
+            for seed in range(40):
+                m = random_partition(extent, 3, seed=seed).multiplier
+                assert m not in (1, extent - 1), (extent, seed, m)
+        # extents whose only coprimes are 1 / extent-1 must still build
+        for extent in (2, 3, 4, 6):
+            part = random_partition(extent, 2, seed=0)
+            pos = part.position_of(np.arange(extent))
+            assert np.array_equal(np.sort(pos), np.arange(extent))
+
+    def test_random_hash_is_a_bijection(self):
+        for extent, blocks, seed in ((1, 1, 0), (2, 3, 1), (17, 4, 7), (64, 8, 3)):
+            part = random_partition(extent, blocks, seed=seed)
+            pos = part.position_of(np.arange(extent))
+            assert np.array_equal(np.sort(pos), np.arange(extent))
+            assert np.array_equal(part.global_of_positions(pos), np.arange(extent))
+            owned = np.concatenate(
+                [part.global_rows_of_block(b) for b in range(part.n_blocks)]
+            )
+            assert np.array_equal(np.sort(owned), np.arange(extent))
+
+    def test_hashed_partition_rejects_non_coprime_multiplier(self):
+        from repro.grid.balance import HashedModePartition
+
+        with pytest.raises(ValueError, match="coprime"):
+            HashedModePartition(6, [0, 3, 6], multiplier=2, offset=0)
 
     def test_cyclic_round_robin(self):
         part = cyclic_partition(7, 3)

@@ -1,0 +1,240 @@
+"""Unit tests for the semi-sparse PP operator builder (ISSUE 5)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cost_tracker import CostTracker
+from repro.sparse import CooTensor
+from repro.tensor.mttkrp import mttkrp, partial_mttkrp
+from repro.trees.pp_operators import PairwiseOperators
+from repro.trees.registry import make_provider
+from repro.trees.sparse_pp import (
+    OrientedPairOperator,
+    SemiSparsePairOperator,
+    build_semi_sparse_operators,
+)
+
+
+def _sparse_instance(rng, shape, rank, density=0.3):
+    dense = rng.random(shape) * (rng.random(shape) < density)
+    dense[tuple(0 for _ in shape)] = 1.0  # never empty
+    coo = CooTensor.from_dense(dense)
+    factors = [rng.random((s, rank)) for s in shape]
+    return dense, coo, factors
+
+
+class TestBuilder:
+    @pytest.mark.parametrize("order", [3, 4, 5])
+    def test_operators_match_dense_kernels(self, order, rng):
+        shape = tuple(int(rng.integers(3, 6)) for _ in range(order))
+        dense, coo, factors = _sparse_instance(rng, shape, rank=3)
+        pairs, singles = build_semi_sparse_operators(coo, factors)
+        assert sorted(pairs) == [(i, j) for i in range(order)
+                                 for j in range(i + 1, order)]
+        for (i, j), op in pairs.items():
+            assert isinstance(op, SemiSparsePairOperator)
+            assert op.n_fibers <= min(coo.nnz, shape[i] * shape[j])
+            np.testing.assert_allclose(
+                op.densify(), partial_mttkrp(dense, factors, [i, j]), atol=1e-12
+            )
+        for n in range(order):
+            np.testing.assert_allclose(
+                singles[n], mttkrp(dense, factors, n), atol=1e-12
+            )
+
+    def test_provider_cache_reuse_saves_flops(self, rng):
+        dense, coo, factors = _sparse_instance(rng, (8, 7, 6, 5), rank=3)
+        tracker = CostTracker()
+        provider = make_provider("msdt", coo, [f.copy() for f in factors],
+                                 tracker=tracker)
+        for mode in range(4):  # warm the sweep cache
+            provider.mttkrp(mode)
+        before = tracker.total_flops
+        shared = PairwiseOperators.build(coo, provider.factors,
+                                         tracker=tracker, provider=provider)
+        shared_flops = tracker.total_flops - before
+
+        standalone_tracker = CostTracker()
+        standalone = PairwiseOperators.build(coo, [f.copy() for f in factors],
+                                             tracker=standalone_tracker)
+        assert shared_flops < standalone_tracker.total_flops
+        for i in range(4):
+            for j in range(i + 1, 4):
+                np.testing.assert_allclose(
+                    np.asarray(shared.pair_operator(i, j)),
+                    np.asarray(standalone.pair_operator(i, j)), atol=1e-12,
+                )
+
+    def test_build_restores_provider_tracker_and_engine(self, rng):
+        _, coo, factors = _sparse_instance(rng, (5, 4, 3), rank=2)
+        provider_tracker = CostTracker()
+        provider = make_provider("dt", coo, [f.copy() for f in factors],
+                                 tracker=provider_tracker)
+        build_tracker = CostTracker()
+        PairwiseOperators.build(coo, provider.factors, tracker=build_tracker,
+                                provider=provider)
+        assert provider.tracker is provider_tracker
+        assert build_tracker.total_flops > 0
+        # the provider keeps tracking its own sweeps into its own tracker
+        base = provider_tracker.total_flops
+        provider.mttkrp(0)
+        assert provider_tracker.total_flops > base
+
+    def test_non_tree_provider_builds_standalone(self, rng):
+        """Recompute/unfolding providers cannot donate a fiber cache, but the
+        build must still go semi-sparse (engine donated, no cache sharing)."""
+        dense, coo, factors = _sparse_instance(rng, (5, 4, 3), rank=2)
+        for name in ("sparse", "unfolding"):
+            provider = make_provider(name, coo, [f.copy() for f in factors])
+            ops = PairwiseOperators.build(coo, provider.factors, provider=provider)
+            assert all(isinstance(op, SemiSparsePairOperator)
+                       for op in ops.pairs().values())
+            np.testing.assert_allclose(
+                np.asarray(ops.pair_operator(0, 1)),
+                partial_mttkrp(dense, factors, [0, 1]), atol=1e-12,
+            )
+
+    def test_provider_bound_to_other_tensor_raises(self, rng):
+        _, coo, factors = _sparse_instance(rng, (5, 4, 3), rank=2)
+        _, other, _ = _sparse_instance(rng, (5, 4, 3), rank=2)
+        provider = make_provider("dt", other, [f.copy() for f in factors])
+        with pytest.raises(ValueError, match="different tensor"):
+            PairwiseOperators.build(coo, factors, provider=provider)
+
+    def test_tree_provider_with_stale_factors_raises(self, rng):
+        _, coo, factors = _sparse_instance(rng, (5, 4, 3), rank=2)
+        provider = make_provider("msdt", coo, [f.copy() for f in factors])
+        drifted = [f + 1.0 for f in factors]
+        with pytest.raises(ValueError, match="checkpoint factors"):
+            PairwiseOperators.build(coo, drifted, provider=provider)
+
+    def test_order2_rejected(self, rng):
+        coo = CooTensor.from_dense(rng.random((4, 4)))
+        with pytest.raises(ValueError, match="order >= 3"):
+            build_semi_sparse_operators(coo, [rng.random((4, 2))] * 2)
+
+    def test_empty_tensor_yields_zero_operators(self, rng):
+        coo = CooTensor(np.zeros((0, 3), dtype=np.int64), np.zeros(0), (4, 3, 2))
+        factors = [rng.random((s, 2)) for s in coo.shape]
+        pairs, singles = build_semi_sparse_operators(coo, factors)
+        for op in pairs.values():
+            assert op.n_fibers == 0
+            assert not op.densify().any()
+        for single in singles.values():
+            assert not single.any()
+
+    def test_float32_preserved(self, rng):
+        dense, coo, factors = _sparse_instance(rng, (5, 4, 3), rank=2)
+        coo32 = coo.astype(np.float32)
+        factors32 = [f.astype(np.float32) for f in factors]
+        ops = PairwiseOperators.build(coo32, factors32)
+        assert all(op.block.dtype == np.float32 for op in ops.pairs().values())
+        assert all(ops.single(n).dtype == np.float32 for n in range(3))
+
+
+class TestSemiSparsePairOperator:
+    @pytest.fixture()
+    def op(self, rng):
+        dense, coo, factors = _sparse_instance(rng, (6, 5, 4), rank=3)
+        pairs, _ = build_semi_sparse_operators(coo, factors)
+        return pairs[(0, 2)], dense, factors
+
+    def test_contract_other_both_axes(self, op, rng):
+        operator, dense, factors = op
+        dense_op = operator.densify()
+        delta_j = rng.random((4, 3))
+        np.testing.assert_allclose(
+            operator.contract_other(delta_j, 0),
+            np.einsum("xyk,yk->xk", dense_op, delta_j), atol=1e-12,
+        )
+        delta_i = rng.random((6, 3))
+        np.testing.assert_allclose(
+            operator.contract_other(delta_i, 1),
+            np.einsum("xyk,xk->yk", dense_op, delta_i), atol=1e-12,
+        )
+
+    def test_contract_other_out_buffer(self, op, rng):
+        operator, _, _ = op
+        delta = rng.random((4, 3))
+        out = np.full((6, 3), 99.0)
+        got = operator.contract_other(delta, 0, out=out)
+        assert got is out
+        np.testing.assert_allclose(
+            out, np.einsum("xyk,yk->xk", operator.densify(), delta), atol=1e-12
+        )
+
+    def test_contract_other_validation(self, op, rng):
+        operator, _, _ = op
+        with pytest.raises(ValueError, match="out_axis"):
+            operator.contract_other(rng.random((4, 3)), 2)
+        with pytest.raises(ValueError, match="incompatible"):
+            operator.contract_other(rng.random((5, 3)), 0)
+        with pytest.raises(ValueError, match="out must have shape"):
+            operator.contract_other(rng.random((4, 3)), 0, out=np.zeros((2, 3)))
+
+    def test_contract_tracks_mttv_costs(self, op, rng):
+        operator, _, _ = op
+        tracker = CostTracker()
+        operator.contract_other(rng.random((4, 3)), 0, tracker=tracker)
+        assert tracker.flops_by_category.get("mttv", 0) == \
+            2 * operator.n_fibers * operator.rank
+
+    def test_oriented_wrapper(self, op):
+        operator, _, _ = op
+        lead0, lead1 = operator.oriented(0), operator.oriented(1)
+        assert isinstance(lead0, OrientedPairOperator)
+        assert lead0.shape == (6, 4, 3) and lead1.shape == (4, 6, 3)
+        assert lead0.ndim == lead1.ndim == 3
+        np.testing.assert_allclose(
+            np.asarray(lead1), np.transpose(np.asarray(lead0), (1, 0, 2))
+        )
+
+    def test_pair_operator_orientation_via_container(self, rng):
+        dense, coo, factors = _sparse_instance(rng, (6, 5, 4), rank=3)
+        ops = PairwiseOperators.build(coo, factors)
+        forward = np.asarray(ops.pair_operator(0, 2))
+        backward = np.asarray(ops.pair_operator(2, 0))
+        assert forward.shape == (6, 4, 3) and backward.shape == (4, 6, 3)
+        np.testing.assert_allclose(forward, np.transpose(backward, (1, 0, 2)))
+
+    def test_memory_words_counts_fiber_storage(self, rng):
+        _, coo, factors = _sparse_instance(rng, (6, 5, 4), rank=3)
+        ops = PairwiseOperators.build(coo, factors)
+        expected = sum(op.fibers.size + op.block.size
+                       for op in ops.pairs().values())
+        expected += sum(ops.single(n).size for n in range(3))
+        assert ops.memory_words() == expected
+
+    def test_constructor_validation(self, rng):
+        with pytest.raises(ValueError, match="i < j"):
+            SemiSparsePairOperator((1, 0), np.zeros((0, 2), np.int64),
+                                   np.zeros((0, 2)), (3, 3))
+        with pytest.raises(ValueError, match="n_fibers, 2"):
+            SemiSparsePairOperator((0, 1), np.zeros((0, 3), np.int64),
+                                   np.zeros((0, 2)), (3, 3))
+        with pytest.raises(ValueError, match="inconsistent"):
+            SemiSparsePairOperator((0, 1), np.zeros((2, 2), np.int64),
+                                   np.zeros((1, 2)), (3, 3))
+
+    def test_constructor_rejects_unsorted_or_duplicate_fibers(self):
+        """The segmented reductions assume the CSF invariant; violating it
+        would silently drop contributions, so the constructor enforces it."""
+        with pytest.raises(ValueError, match="lexicographically sorted"):
+            SemiSparsePairOperator((0, 1), np.array([[1, 0], [0, 0]]),
+                                   np.ones((2, 2)), (2, 2))
+        with pytest.raises(ValueError, match="lexicographically sorted"):
+            SemiSparsePairOperator((0, 1), np.array([[0, 1], [0, 1]]),
+                                   np.ones((2, 2)), (2, 2))
+
+    def test_first_order_correction_rejects_raw_operator(self, rng):
+        """A raw semi-sparse operator has no orientation; with square modes a
+        mode mix-up would produce no shape error, so it must be refused."""
+        from repro.core.pp_corrections import first_order_correction
+
+        _, coo, factors = _sparse_instance(rng, (4, 4, 3), rank=2)
+        ops = PairwiseOperators.build(coo, factors)
+        with pytest.raises(TypeError, match="oriented"):
+            first_order_correction(ops.pairs()[(0, 1)], rng.random((4, 2)))
+        # the oriented view from the container is the supported path
+        got = first_order_correction(ops.pair_operator(1, 0), rng.random((4, 2)))
+        assert got.shape == (4, 2)
