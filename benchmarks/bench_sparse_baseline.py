@@ -1,0 +1,93 @@
+"""Sparse sweep baseline: 200^3 @ 1% CP-ALS with the dt and msdt engines.
+
+The standard sparse regression anchor: a fixed synthetic low-rank tensor
+(200^3, ~1% density, 80k nonzeros) decomposed for a fixed number of sweeps
+with each amortizing engine.  Tracked metrics are the deterministic per-engine
+flop counts (CI fails on >15% drift against the committed
+``BENCH_sparse.json``); wall-clock per sweep is informational.
+
+Run as a script to (re)generate the baseline::
+
+    PYTHONPATH=src python benchmarks/bench_sparse_baseline.py --out BENCH_sparse.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.cp_als import cp_als
+from repro.core.options import ALSOptions
+from repro.data.sparse_synthetic import sparse_low_rank_tensor
+
+try:  # pytest-only flag; absent when run as a plain script
+    from conftest import BENCH_TINY
+except ImportError:  # pragma: no cover - script mode
+    BENCH_TINY = False
+
+FULL_CONFIG = {"shape": (200, 200, 200), "density": 0.01, "rank": 8, "n_sweeps": 5}
+TINY_CONFIG = {"shape": (20, 20, 20), "density": 0.05, "rank": 3, "n_sweeps": 2}
+
+ENGINES = ("dt", "msdt")
+
+
+def run_sweeps(config: dict) -> dict:
+    tensor = sparse_low_rank_tensor(
+        config["shape"], rank=config["rank"], density=config["density"],
+        noise=0.1, seed=0,
+    )
+    tracked: dict = {"nnz": int(tensor.nnz)}
+    info: dict = {}
+    for engine in ENGINES:
+        options = ALSOptions(rank=config["rank"], n_sweeps=config["n_sweeps"],
+                             tol=0.0, mttkrp=engine, seed=0)
+        start = time.perf_counter()
+        result = cp_als(tensor, options=options)
+        wall = time.perf_counter() - start
+        tracked[f"flops_{engine}"] = int(result.tracker.total_flops)
+        info[f"wall_s_{engine}"] = wall
+        info[f"seconds_per_sweep_{engine}"] = wall / result.n_sweeps
+        info[f"fitness_{engine}"] = result.fitness
+    return {
+        "name": "sparse_baseline",
+        "config": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in config.items()},
+        "tracked": tracked,
+        "info": info,
+    }
+
+
+def format_report(data: dict) -> str:
+    lines = [f"sparse sweep baseline ({data['config']})", ""]
+    for section in ("tracked", "info"):
+        lines.append(f"{section}:")
+        for key, value in data[section].items():
+            lines.append(f"  {key:>24s}: {value}")
+    return "\n".join(lines)
+
+
+def test_sparse_baseline(report):
+    """Smoke/report entry point for the pytest harness."""
+    data = run_sweeps(TINY_CONFIG if BENCH_TINY else FULL_CONFIG)
+    # the amortizing tree engines must run, and msdt must not do more work
+    # than the standard tree (its whole point is reuse across sweeps)
+    assert data["tracked"]["flops_msdt"] <= data["tracked"]["flops_dt"]
+    report("bench_sparse_baseline", format_report(data))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_sparse.json"))
+    parser.add_argument("--tiny", action="store_true",
+                        help="tiny shapes (smoke only; not baseline-comparable)")
+    args = parser.parse_args()
+    data = run_sweeps(TINY_CONFIG if args.tiny else FULL_CONFIG)
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(format_report(data))
+    print(f"\n[saved to {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Compare a fresh benchmark JSON report against a committed baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_service.json /tmp/BENCH_service.json
+
+Only the ``tracked`` section gates: these are deterministic work counters
+(flop counts, sweep counts, nonzeros), so any relative drift beyond the
+threshold (default 15%) means the computation itself changed and the run
+exits non-zero.  ``info`` metrics (timing, cache hit rates) are printed side
+by side for context but never compared — CI runner timing is not stable
+enough to gate on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def relative_drift(baseline: float, candidate: float) -> float:
+    """|candidate - baseline| / |baseline| (0 when both are zero)."""
+    if baseline == 0:
+        return 0.0 if candidate == 0 else float("inf")
+    return abs(candidate - baseline) / abs(baseline)
+
+
+def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
+    """Failure messages for tracked metrics drifting beyond ``threshold``."""
+    failures = []
+    base_tracked = baseline.get("tracked", {})
+    cand_tracked = candidate.get("tracked", {})
+    missing = set(base_tracked) - set(cand_tracked)
+    if missing:
+        failures.append(f"candidate is missing tracked metrics: {sorted(missing)}")
+    for key in sorted(set(base_tracked) & set(cand_tracked)):
+        drift = relative_drift(base_tracked[key], cand_tracked[key])
+        marker = "FAIL" if drift > threshold else "ok"
+        print(f"  tracked {key:>24s}: {base_tracked[key]:>16} -> "
+              f"{cand_tracked[key]:>16}  ({drift:7.2%} drift) {marker}")
+        if drift > threshold:
+            failures.append(
+                f"tracked metric {key!r} drifted {drift:.2%} "
+                f"(baseline {base_tracked[key]}, candidate {cand_tracked[key]}, "
+                f"threshold {threshold:.0%})"
+            )
+    for key in sorted(set(baseline.get("info", {})) & set(candidate.get("info", {}))):
+        print(f"  info    {key:>24s}: {baseline['info'][key]} -> "
+              f"{candidate['info'][key]}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="maximum relative drift of tracked metrics")
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    if baseline.get("config") != candidate.get("config"):
+        print(f"error: config mismatch\n  baseline:  {baseline.get('config')}\n"
+              f"  candidate: {candidate.get('config')}", file=sys.stderr)
+        return 2
+
+    print(f"comparing {args.candidate} against baseline {args.baseline} "
+          f"(threshold {args.threshold:.0%})")
+    failures = compare(baseline, candidate, args.threshold)
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    print("all tracked metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Decomposition-as-a-service walkthrough.
+
+Run with ``PYTHONPATH=src python examples/service_demo.py``.  The demo
+submits a burst of multi-start jobs over one sparse tensor to the async
+service, streams the progress of one of them sweep by sweep, cancels a
+long-running job mid-flight, and then resubmits an identical request to show
+the artifact cache answering without recompute.  The final stats dump shows
+the three shared caches: contraction plans, CSF layouts, and artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.options import ALSOptions
+from repro.data.sparse_synthetic import sparse_low_rank_tensor
+from repro.service import DecompositionRequest, DecompositionService, JobCancelled
+
+
+async def main() -> None:
+    tensor = sparse_low_rank_tensor((60, 60, 60), rank=8, density=0.01,
+                                    noise=0.1, seed=0)
+    options = ALSOptions(rank=8, n_sweeps=10, tol=0.0, mttkrp="msdt")
+
+    async with DecompositionService(n_workers=4, seed=0) as service:
+        # -- a burst of multi-start jobs over one shared tensor ---------------
+        jobs = [
+            await service.submit(
+                DecompositionRequest(tensor, algorithm="multi_start",
+                                     n_starts=2, options=options, seed=seed)
+            )
+            for seed in range(6)
+        ]
+        print(f"submitted a burst of {len(jobs)} multi-start jobs")
+
+        # -- stream one job's sweeps while the burst runs ---------------------
+        watched = jobs[0]
+        async for event in service.stream(watched.id):
+            if event.kind == "sweep":
+                print(f"  {watched.id} sweep {event.sweep:2d}  "
+                      f"fitness {event.fitness:.4f}")
+        for job in jobs:
+            await service.result(job.id)
+        print(f"burst done; best fitness of {watched.id}: "
+              f"{(await service.result(watched.id)).fitness:.4f}")
+
+        # -- cancellation propagates through the sweep callback ---------------
+        runaway = await service.submit(
+            DecompositionRequest(
+                tensor, options=ALSOptions(rank=8, n_sweeps=100_000, tol=0.0,
+                                           mttkrp="msdt"), seed=99,
+            )
+        )
+        stream = service.stream(runaway.id)
+        async for event in stream:
+            if event.kind == "sweep" and event.sweep >= 2:
+                service.cancel(runaway.id)
+        try:
+            await service.result(runaway.id)
+        except JobCancelled:
+            print(f"{runaway.id} cancelled after sweep 2 "
+                  f"(state: {runaway.state.value})")
+
+        # -- identical resubmission is an artifact-cache hit ------------------
+        repeat = await service.submit(
+            DecompositionRequest(tensor, algorithm="multi_start",
+                                 n_starts=2, options=options, seed=0)
+        )
+        print(f"resubmission {repeat.id}: from_artifact_cache="
+              f"{repeat.from_artifact_cache} (state: {repeat.state.value})")
+
+        # -- the shared caches ------------------------------------------------
+        stats = service.stats()
+        print("\nservice stats:")
+        print(f"  jobs:        {stats['jobs']}")
+        engine = stats["engine"]
+        print(f"  plan cache:  {engine['plans']} plans, "
+              f"{engine['hits']} hits / {engine['misses']} misses")
+        print(f"  csf layouts: {stats['csf_cache']}")
+        print(f"  artifacts:   {stats['artifacts']}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -38,8 +38,20 @@ from repro.core.pp_cp_als import pp_cp_als
 from repro.core.multi_start import MultiStartResult, multi_start, start_seeds
 from repro.core.parallel_cp_als import parallel_cp_als
 from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
-from repro.core.results import ALSResult, SweepRecord
-from repro.core.options import ALSOptions, PPOptions
+from repro.core.results import ALSResult, ParallelALSResult, ResultBase, SweepRecord
+from repro.core.options import (
+    ALSOptions,
+    ParallelOptions,
+    ParallelPPOptions,
+    PPOptions,
+)
+from repro.service import (
+    ArtifactCache,
+    DecompositionRequest,
+    DecompositionService,
+    Job,
+    JobState,
+)
 from repro.tensor.cp_format import CPTensor, random_cp_tensor
 from repro.tensor.norms import fitness, relative_residual
 from repro.machine.params import MachineParams
@@ -60,9 +72,18 @@ __all__ = [
     "parallel_cp_als",
     "parallel_pp_cp_als",
     "ALSResult",
+    "ParallelALSResult",
+    "ResultBase",
     "SweepRecord",
     "ALSOptions",
     "PPOptions",
+    "ParallelOptions",
+    "ParallelPPOptions",
+    "ArtifactCache",
+    "DecompositionRequest",
+    "DecompositionService",
+    "Job",
+    "JobState",
     "CPTensor",
     "random_cp_tensor",
     "CooTensor",

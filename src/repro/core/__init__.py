@@ -14,8 +14,14 @@
   and optional worker threads sharing one contraction-plan cache.
 """
 
-from repro.core.options import ALSOptions, PPOptions, ParallelOptions
-from repro.core.results import ALSResult, ParallelALSResult, SweepRecord
+from repro.core.options import (
+    ALSOptions,
+    PPOptions,
+    ParallelOptions,
+    ParallelPPOptions,
+    resolve_options,
+)
+from repro.core.results import ALSResult, ParallelALSResult, ResultBase, SweepRecord
 from repro.core.initialization import init_factors
 from repro.core.normal_equations import gram_matrix, gamma_chain, solve_normal_equations
 from repro.core.pp_corrections import (
@@ -34,8 +40,11 @@ __all__ = [
     "ALSOptions",
     "PPOptions",
     "ParallelOptions",
+    "ParallelPPOptions",
+    "resolve_options",
     "ALSResult",
     "ParallelALSResult",
+    "ResultBase",
     "SweepRecord",
     "init_factors",
     "gram_matrix",

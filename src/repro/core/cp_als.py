@@ -9,12 +9,12 @@ import numpy as np
 
 from repro.core.initialization import prepare_als_inputs
 from repro.core.normal_equations import gamma_chain, gram_matrix, solve_normal_equations
+from repro.core.options import ALSOptions, resolve_options
 from repro.core.results import ALSResult, SweepRecord
 from repro.machine.cost_tracker import CostTracker
 from repro.tensor.norms import residual_from_mttkrp
 from repro.trees.base import MTTKRPProvider
 from repro.trees.registry import make_provider
-from repro.utils.validation import check_positive_int, check_rank
 
 __all__ = ["cp_als", "run_regular_sweep"]
 
@@ -46,10 +46,10 @@ def run_regular_sweep(
 
 def cp_als(
     tensor: np.ndarray,
-    rank: int,
-    n_sweeps: int = 50,
-    tol: float = 1.0e-5,
-    mttkrp: str = "dt",
+    rank: int | None = None,
+    n_sweeps: int | None = None,
+    tol: float | None = None,
+    mttkrp: str | None = None,
     initial_factors: Sequence[np.ndarray] | None = None,
     seed: int | np.random.Generator | None = None,
     tracker: CostTracker | None = None,
@@ -57,6 +57,7 @@ def cp_als(
     callback: Callable[[int, list[np.ndarray], float], None] | None = None,
     max_cache_bytes: int | None = None,
     dtype: np.dtype | str | None = None,
+    options: ALSOptions | None = None,
 ) -> ALSResult:
     """CP decomposition via alternating least squares (Algorithm 1).
 
@@ -69,16 +70,16 @@ def cp_als(
     rank:
         CP rank ``R``.
     n_sweeps:
-        Maximum number of ALS sweeps.
+        Maximum number of ALS sweeps (default 50).
     tol:
         Stopping criterion ``Delta``: the run stops when the relative residual
-        changes by less than ``tol`` between consecutive sweeps.
+        changes by less than ``tol`` between consecutive sweeps (default 1e-5).
     mttkrp:
         MTTKRP engine: ``"naive"``, ``"unfolding"``, ``"dt"`` (standard
-        dimension tree) or ``"msdt"`` (multi-sweep dimension tree).  All
-        engines produce identical iterates; they differ only in cost.  The
-        same names work on sparse inputs — the trees then amortize over
-        CSF-style semi-sparse intermediates (:mod:`repro.trees.sparse_dt`)
+        dimension tree, the default) or ``"msdt"`` (multi-sweep dimension
+        tree).  All engines produce identical iterates; they differ only in
+        cost.  The same names work on sparse inputs — the trees then amortize
+        over CSF-style semi-sparse intermediates (:mod:`repro.trees.sparse_dt`)
         instead of dense TTM chains.
     initial_factors:
         Optional explicit initial factor matrices (otherwise uniform random as
@@ -91,20 +92,31 @@ def cp_als(
         per sweep (fitness history, kernel breakdown).
     callback:
         Optional ``callback(sweep_index, factors, fitness)`` invoked after
-        every sweep.
+        every sweep.  An exception raised by the callback aborts the run and
+        propagates — :mod:`repro.service` uses this for job cancellation.
     dtype:
         Working floating dtype.  ``None`` (default) normalizes the tensor and
         factors to float64; pass e.g. ``np.float32`` to run the whole
         decomposition in single precision.
+    options:
+        An :class:`~repro.core.options.ALSOptions` bundle carrying ``rank``,
+        ``n_sweeps``, ``tol``, ``mttkrp`` and ``seed`` as one object.  Passing
+        the bundle *and* any of those keywords emits a ``DeprecationWarning``
+        (the explicit keywords override).  Both spellings produce bit-identical
+        results.
 
     Returns
     -------
     :class:`~repro.core.results.ALSResult`
     """
-    rank = check_rank(rank)
-    n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
-    if tol < 0:
-        raise ValueError("tol must be non-negative")
+    opts = resolve_options(
+        ALSOptions, options,
+        {"rank": rank, "n_sweeps": n_sweeps, "tol": tol,
+         "mttkrp": mttkrp, "seed": seed},
+    )
+    rank, n_sweeps, tol, mttkrp, seed = (
+        opts.rank, opts.n_sweeps, opts.tol, opts.mttkrp, opts.seed,
+    )
     tracker = tracker if tracker is not None else CostTracker()
     tensor, factors, norm_t = prepare_als_inputs(
         tensor, rank, min_order=2, dtype=dtype,

@@ -17,7 +17,9 @@ uses :func:`start_seeds`.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List
@@ -25,8 +27,9 @@ from typing import List
 import numpy as np
 
 from repro.core.cp_als import cp_als
+from repro.core.options import ALSOptions, ParallelOptions, PPOptions
 from repro.core.pp_cp_als import pp_cp_als
-from repro.core.results import ALSResult
+from repro.core.results import ALSResult, ResultBase, SweepRecord
 from repro.machine.cost_tracker import CostTracker
 from repro.utils.validation import check_positive_int
 
@@ -46,8 +49,15 @@ def start_seeds(seed: int | None, n_starts: int) -> list[np.random.SeedSequence]
 
 
 @dataclass
-class MultiStartResult:
-    """Outcome of a best-of-K multi-start run."""
+class MultiStartResult(ResultBase):
+    """Outcome of a best-of-K multi-start run.
+
+    Shares the :class:`~repro.core.results.ResultBase` accessor surface with
+    :class:`~repro.core.results.ALSResult`: ``factors``, ``fitness``,
+    ``residual``, ``converged``, ``n_sweeps`` and ``sweeps`` all refer to the
+    best start, so consumers (e.g. :mod:`repro.service`) handle one result
+    shape regardless of driver.
+    """
 
     best_index: int
     results: List[ALSResult]
@@ -62,8 +72,33 @@ class MultiStartResult:
         return self.results[self.best_index]
 
     @property
+    def factors(self) -> List[np.ndarray]:
+        """Factor matrices of the best start."""
+        return self.best.factors
+
+    @property
     def fitness(self) -> float:
         return self.best.fitness
+
+    @property
+    def residual(self) -> float:
+        """Relative residual of the best start."""
+        return self.best.residual
+
+    @property
+    def converged(self) -> bool:
+        """Whether the best start converged."""
+        return self.best.converged
+
+    @property
+    def n_sweeps(self) -> int:
+        """Sweeps run by the best start."""
+        return self.best.n_sweeps
+
+    @property
+    def sweeps(self) -> List[SweepRecord]:
+        """Sweep records of the best start (all starts: :meth:`trajectory_table`)."""
+        return self.best.sweeps
 
     @property
     def n_starts(self) -> int:
@@ -133,12 +168,13 @@ def _best_index(results: List[ALSResult]) -> int:
 
 def multi_start(
     tensor: np.ndarray,
-    rank: int,
+    rank: int | None = None,
     n_starts: int = 8,
-    algorithm: str = "als",
+    algorithm: str | None = None,
     seed: int | None = None,
     n_workers: int = 1,
     tracker: CostTracker | None = None,
+    options: ALSOptions | None = None,
     **solver_kwargs,
 ) -> MultiStartResult:
     """Best-of-``n_starts`` CP decomposition with shared contraction plans.
@@ -153,7 +189,9 @@ def multi_start(
         Number of independent random initializations ``K``.
     algorithm:
         ``"als"`` (:func:`~repro.core.cp_als.cp_als`) or ``"pp"``
-        (:func:`~repro.core.pp_cp_als.pp_cp_als`).
+        (:func:`~repro.core.pp_cp_als.pp_cp_als`).  When omitted it is
+        inferred from ``options`` (``"pp"`` for a
+        :class:`~repro.core.options.PPOptions` bundle, else ``"als"``).
     seed:
         Root seed; per-start seeds come from :func:`start_seeds` so the run is
         deterministic for any ``n_workers``.
@@ -163,15 +201,59 @@ def multi_start(
         Optional :class:`CostTracker`; each start accumulates into a private
         tracker (the class is not thread-safe) and all of them are merged into
         this one in start order after the run.
+    options:
+        An :class:`~repro.core.options.ALSOptions` /
+        :class:`~repro.core.options.PPOptions` bundle for the underlying
+        solver; its ``rank`` and ``seed`` fields stand in for the matching
+        parameters here (``seed`` as the root seed — per-start seeds are
+        always spawned from it).  Expanding the bundle to the equivalent
+        keywords produces a bit-identical run.
     solver_kwargs:
         Forwarded to the underlying solver (``n_sweeps``, ``tol``, ``mttkrp``,
-        ``pp_tol``, ...).
+        ``pp_tol``, ``callback``, ...).
 
     Returns
     -------
     :class:`MultiStartResult` with the best-fitness result and the per-start
     fitness trajectory table.
     """
+    if options is not None:
+        if isinstance(options, ParallelOptions):
+            raise TypeError(
+                "multi_start batches the sequential solvers; pass ALSOptions "
+                "or PPOptions, not a parallel bundle"
+            )
+        if not isinstance(options, ALSOptions):
+            raise TypeError(
+                f"options must be an ALSOptions bundle, got {type(options).__name__}"
+            )
+        if algorithm is None:
+            algorithm = "pp" if isinstance(options, PPOptions) else "als"
+        option_fields = {f.name for f in dataclasses.fields(type(options))}
+        overrides = {k: v for k, v in solver_kwargs.items() if k in option_fields}
+        if rank is not None:
+            overrides["rank"] = rank
+        if seed is not None:
+            overrides["seed"] = seed
+        if overrides:
+            warnings.warn(
+                "passing both options= and legacy driver keywords is "
+                f"deprecated; the explicit keywords override the bundle: "
+                f"{sorted(overrides)}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = dataclasses.replace(options, **overrides)
+        expanded = options.to_kwargs()
+        rank = expanded.pop("rank")
+        seed = expanded.pop("seed")
+        solver_kwargs = {
+            **expanded,
+            **{k: v for k, v in solver_kwargs.items() if k not in option_fields},
+        }
+    elif rank is None:
+        raise TypeError("rank is required (pass rank= or an options= bundle)")
+    algorithm = "als" if algorithm is None else algorithm
     n_starts = check_positive_int(n_starts, "n_starts")
     n_workers = check_positive_int(n_workers, "n_workers")
     if algorithm not in _ALGORITHMS:

@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm.simulated import SimulatedMachine
+from repro.core.options import ParallelOptions, resolve_options
 from repro.core.parallel_common import parallel_mode_update, setup_parallel_state
 from repro.core.results import ParallelALSResult, SweepRecord
 from repro.distributed.dist_tensor import DistributedTensor
@@ -31,27 +32,27 @@ from repro.grid.processor_grid import ProcessorGrid
 from repro.machine.cost_tracker import CostTracker
 from repro.machine.params import MachineParams
 from repro.tensor.norms import residual_from_mttkrp
-from repro.utils.validation import check_positive_int, check_rank
 
 __all__ = ["parallel_cp_als"]
 
 
 def parallel_cp_als(
     tensor: np.ndarray | DistributedTensor | DistSparseTensor,
-    rank: int,
-    grid: ProcessorGrid | Sequence[int],
-    n_sweeps: int = 25,
-    tol: float = 1.0e-5,
-    mttkrp: str = "dt",
+    rank: int | None = None,
+    grid: ProcessorGrid | Sequence[int] | None = None,
+    n_sweeps: int | None = None,
+    tol: float | None = None,
+    mttkrp: str | None = None,
     machine: SimulatedMachine | None = None,
     params: MachineParams | None = None,
     initial_factors: Sequence[np.ndarray] | None = None,
     seed: int | np.random.Generator | None = None,
-    distributed_solve: bool = True,
+    distributed_solve: bool | None = None,
     record_sweeps: bool = True,
     max_cache_bytes: int | None = None,
-    partitioner: str = "nnz-balanced",
+    partitioner: str | None = None,
     partition_seed: int | np.random.Generator | None = None,
+    options: ParallelOptions | None = None,
 ) -> ParallelALSResult:
     """Distributed-memory CP-ALS (Algorithm 3) executed on the simulated machine.
 
@@ -79,16 +80,34 @@ def parallel_cp_als(
     machine / params:
         The simulated machine (or its cost parameters) to run on; a fresh
         machine with KNL-like parameters is created when omitted.
+    options:
+        A :class:`~repro.core.options.ParallelOptions` bundle carrying
+        ``rank``, ``grid``, ``n_sweeps``, ``tol``, ``mttkrp``, ``seed``,
+        ``distributed_solve`` and ``partitioner`` as one object; mutually
+        exclusive with the matching legacy keywords (``DeprecationWarning``
+        when both are given, the keywords override).
 
     Returns
     -------
     :class:`~repro.core.results.ParallelALSResult` with per-sweep fitness,
     measured local kernel breakdowns and modeled parallel times.
     """
-    rank = check_rank(rank)
-    n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
-    if tol < 0:
-        raise ValueError("tol must be non-negative")
+    if grid is None and options is None:
+        raise TypeError("grid is required (pass grid= or an options= bundle)")
+    opts = resolve_options(
+        ParallelOptions, options,
+        {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "mttkrp": mttkrp,
+         "seed": seed, "distributed_solve": distributed_solve,
+         "partitioner": partitioner,
+         "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
+    )
+    rank, n_sweeps, tol, mttkrp, seed = (
+        opts.rank, opts.n_sweeps, opts.tol, opts.mttkrp, opts.seed,
+    )
+    distributed_solve, partitioner = opts.distributed_solve, opts.partitioner
+    # keep an explicitly-passed ProcessorGrid instance as-is; the bundle only
+    # carries its dims
+    grid = grid if grid is not None else opts.grid
 
     state = setup_parallel_state(
         tensor, rank, grid,

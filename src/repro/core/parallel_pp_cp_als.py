@@ -33,6 +33,7 @@ from repro.core.parallel_common import (
     setup_parallel_state,
     zero_delta_factors,
 )
+from repro.core.options import ParallelPPOptions, resolve_options
 from repro.core.pp_corrections import first_order_correction, pp_step_within_tolerance
 from repro.core.results import ParallelALSResult, SweepRecord
 from repro.distributed.dist_factor import DistributedFactor
@@ -42,7 +43,6 @@ from repro.machine.cost_tracker import CostTracker
 from repro.machine.params import MachineParams
 from repro.tensor.norms import residual_from_mttkrp
 from repro.trees.pp_operators import PairwiseOperators
-from repro.utils.validation import check_positive_int, check_rank
 
 __all__ = ["parallel_pp_cp_als"]
 
@@ -146,22 +146,23 @@ def _pp_contributions(
 
 def parallel_pp_cp_als(
     tensor: np.ndarray | DistributedTensor,
-    rank: int,
-    grid: ProcessorGrid | Sequence[int],
-    n_sweeps: int = 300,
-    tol: float = 1.0e-5,
-    pp_tol: float = 0.1,
-    mttkrp: str = "msdt",
+    rank: int | None = None,
+    grid: ProcessorGrid | Sequence[int] | None = None,
+    n_sweeps: int | None = None,
+    tol: float | None = None,
+    pp_tol: float | None = None,
+    mttkrp: str | None = None,
     machine: SimulatedMachine | None = None,
     params: MachineParams | None = None,
     initial_factors: Sequence[np.ndarray] | None = None,
     seed: int | np.random.Generator | None = None,
-    distributed_solve: bool = True,
+    distributed_solve: bool | None = None,
     record_sweeps: bool = True,
-    max_pp_sweeps_per_phase: int = 200,
+    max_pp_sweeps_per_phase: int | None = None,
     max_cache_bytes: int | None = None,
-    partitioner: str = "nnz-balanced",
+    partitioner: str | None = None,
     partition_seed: int | np.random.Generator | None = None,
+    options: ParallelPPOptions | None = None,
 ) -> ParallelALSResult:
     """Parallel PP-CP-ALS (Algorithm 4) on the simulated machine.
 
@@ -169,14 +170,27 @@ def parallel_pp_cp_als(
     (including sparse :class:`~repro.sparse.CooTensor` inputs and the
     ``partitioner`` selection) plus the PP tolerance ``pp_tol`` and the
     per-phase safety bound ``max_pp_sweeps_per_phase`` (see
-    :func:`repro.core.pp_cp_als.pp_cp_als`).
+    :func:`repro.core.pp_cp_als.pp_cp_als`).  The ``options=`` bundle is a
+    :class:`~repro.core.options.ParallelPPOptions`, mutually exclusive with
+    the matching legacy keywords (``DeprecationWarning`` when both are given,
+    the keywords override).
     """
-    rank = check_rank(rank)
-    n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
-    if tol < 0:
-        raise ValueError("tol must be non-negative")
-    if not 0.0 < pp_tol < 1.0:
-        raise ValueError("pp_tol must lie in (0, 1)")
+    if grid is None and options is None:
+        raise TypeError("grid is required (pass grid= or an options= bundle)")
+    opts = resolve_options(
+        ParallelPPOptions, options,
+        {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "pp_tol": pp_tol,
+         "mttkrp": mttkrp, "seed": seed, "distributed_solve": distributed_solve,
+         "partitioner": partitioner,
+         "max_pp_sweeps_per_phase": max_pp_sweeps_per_phase,
+         "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
+    )
+    rank, n_sweeps, tol, pp_tol, mttkrp, seed = (
+        opts.rank, opts.n_sweeps, opts.tol, opts.pp_tol, opts.mttkrp, opts.seed,
+    )
+    distributed_solve, partitioner = opts.distributed_solve, opts.partitioner
+    max_pp_sweeps_per_phase = opts.max_pp_sweeps_per_phase
+    grid = grid if grid is not None else opts.grid
 
     state = setup_parallel_state(
         tensor, rank, grid,

@@ -31,12 +31,12 @@ from repro.core.pp_corrections import (
     pp_step_within_tolerance,
     second_order_correction,
 )
+from repro.core.options import PPOptions, resolve_options
 from repro.core.results import ALSResult, SweepRecord
 from repro.machine.cost_tracker import CostTracker
 from repro.tensor.norms import residual_from_mttkrp
 from repro.trees.pp_operators import PairwiseOperators
 from repro.trees.registry import make_provider
-from repro.utils.validation import check_positive_int, check_rank
 
 __all__ = ["pp_cp_als"]
 
@@ -59,19 +59,20 @@ def _record_sweep(records, index, sweep_type, residual, elapsed, cumulative, tra
 
 def pp_cp_als(
     tensor: np.ndarray,
-    rank: int,
-    n_sweeps: int = 300,
-    tol: float = 1.0e-5,
-    pp_tol: float = 0.1,
-    mttkrp: str = "msdt",
+    rank: int | None = None,
+    n_sweeps: int | None = None,
+    tol: float | None = None,
+    pp_tol: float | None = None,
+    mttkrp: str | None = None,
     initial_factors: Sequence[np.ndarray] | None = None,
     seed: int | np.random.Generator | None = None,
     tracker: CostTracker | None = None,
     record_sweeps: bool = True,
     callback: Callable[[int, list[np.ndarray], float], None] | None = None,
-    max_pp_sweeps_per_phase: int = 200,
+    max_pp_sweeps_per_phase: int | None = None,
     max_cache_bytes: int | None = None,
     dtype: np.dtype | str | None = None,
+    options: PPOptions | None = None,
 ) -> ALSResult:
     """CP decomposition via pairwise-perturbation ALS (Algorithm 2).
 
@@ -81,11 +82,11 @@ def pp_cp_als(
         As in :func:`repro.core.cp_als.cp_als` (the tensor may be a dense
         ndarray or a sparse :class:`repro.sparse.CooTensor`).
     n_sweeps:
-        Upper bound on the total number of sweeps of any type (the paper uses
-        300 for the collinearity study).
+        Upper bound on the total number of sweeps of any type (default 300,
+        the paper's bound for the collinearity study).
     pp_tol:
         The PP tolerance ``epsilon`` of Algorithm 2 (0.2 for the paper's
-        synthetic study, 0.1 for its application tensors).
+        synthetic study, 0.1 — the default — for its application tensors).
     mttkrp:
         Engine used for the exact sweeps; the paper's implementation uses
         MSDT, which is the default.  On sparse inputs this resolves to the
@@ -96,14 +97,23 @@ def pp_cp_als(
         nonzeros once per mode pair, keeping the pair operators in fiber
         form for the approximated sweeps' first-order corrections.
     max_pp_sweeps_per_phase:
-        Safety bound on consecutive approximated sweeps within one PP phase.
+        Safety bound on consecutive approximated sweeps within one PP phase
+        (default 200).
+    options:
+        A :class:`~repro.core.options.PPOptions` bundle carrying the settings
+        above as one object; mutually exclusive with the legacy keywords
+        (``DeprecationWarning`` when both are given, the keywords override).
     """
-    rank = check_rank(rank)
-    n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
-    if tol < 0:
-        raise ValueError("tol must be non-negative")
-    if not 0.0 < pp_tol < 1.0:
-        raise ValueError("pp_tol must lie in (0, 1)")
+    opts = resolve_options(
+        PPOptions, options,
+        {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "pp_tol": pp_tol,
+         "mttkrp": mttkrp, "seed": seed,
+         "max_pp_sweeps_per_phase": max_pp_sweeps_per_phase},
+    )
+    rank, n_sweeps, tol, pp_tol, mttkrp, seed, max_pp_sweeps_per_phase = (
+        opts.rank, opts.n_sweeps, opts.tol, opts.pp_tol, opts.mttkrp,
+        opts.seed, opts.max_pp_sweeps_per_phase,
+    )
     tracker = tracker if tracker is not None else CostTracker()
     tensor, factors, norm_t = prepare_als_inputs(
         tensor, rank, min_order=3, dtype=dtype,

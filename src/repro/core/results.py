@@ -4,6 +4,13 @@ Every sweep (exact ALS, PP initialization, or PP approximated) is recorded as
 a :class:`SweepRecord`; the sequence of records is what the fitness-vs-time
 figures (Fig. 5) and the sweep-count tables (Tables III and IV) are generated
 from.
+
+All result objects — :class:`ALSResult`, :class:`ParallelALSResult` and
+:class:`~repro.core.multi_start.MultiStartResult` — share the
+:class:`ResultBase` accessor surface (``fitness``, ``residual``,
+``converged``, ``n_sweeps``, ``sweeps``, ``factors`` and the sweep-table
+helpers), so consumers such as :mod:`repro.service` handle one shape
+regardless of which driver produced the result.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import numpy as np
 from repro.machine.cost_tracker import CostTracker
 from repro.tensor.cp_format import CPTensor
 
-__all__ = ["SweepRecord", "ALSResult", "ParallelALSResult"]
+__all__ = ["SweepRecord", "ResultBase", "ALSResult", "ParallelALSResult"]
 
 #: canonical sweep-type labels
 SWEEP_ALS = "als"
@@ -52,21 +59,24 @@ class SweepRecord:
         }
 
 
-@dataclass
-class ALSResult:
-    """Outcome of a sequential CP-ALS / PP-CP-ALS run."""
+class ResultBase:
+    """Shared accessor surface of every decomposition result.
+
+    Subclasses provide (as fields or properties) ``factors``, ``fitness``,
+    ``residual``, ``converged``, ``n_sweeps`` and ``sweeps`` (a list of
+    :class:`SweepRecord`); the helpers below are derived from those alone.
+    For a best-of-K :class:`~repro.core.multi_start.MultiStartResult` the
+    attributes refer to the best start, so service consumers can treat any
+    result uniformly.
+    """
 
     factors: List[np.ndarray]
     fitness: float
     residual: float
-    n_sweeps: int
     converged: bool
-    sweeps: List[SweepRecord] = field(default_factory=list)
-    tracker: CostTracker | None = None
-    elapsed_seconds: float = 0.0
-    options: dict = field(default_factory=dict)
+    n_sweeps: int
+    sweeps: List[SweepRecord]
 
-    # -- conveniences ------------------------------------------------------------
     @property
     def cp(self) -> CPTensor:
         """The decomposition as a :class:`~repro.tensor.cp_format.CPTensor`."""
@@ -94,6 +104,21 @@ class ALSResult:
                 "mean_seconds": self.mean_sweep_seconds(sweep_type),
             }
         return summary
+
+
+@dataclass
+class ALSResult(ResultBase):
+    """Outcome of a sequential CP-ALS / PP-CP-ALS run."""
+
+    factors: List[np.ndarray]
+    fitness: float
+    residual: float
+    n_sweeps: int
+    converged: bool
+    sweeps: List[SweepRecord] = field(default_factory=list)
+    tracker: CostTracker | None = None
+    elapsed_seconds: float = 0.0
+    options: dict = field(default_factory=dict)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

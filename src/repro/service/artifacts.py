@@ -1,0 +1,69 @@
+"""In-process artifact cache for completed decompositions.
+
+The service's post-completion hook stores every successful result under its
+:func:`~repro.service.models.artifact_key` — (tensor fingerprint, algorithm,
+options bundle, start count, client seed) — so resubmitting the same request
+is answered from the cache without recompute.  Eviction is LRU by entry
+count; results are in-memory references (the factors are never copied).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["ArtifactCache"]
+
+
+class ArtifactCache:
+    """Thread-safe LRU mapping of artifact keys to completed results."""
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: tuple) -> Any | None:
+        """The cached result for ``key`` (marking it most-recent), else ``None``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: tuple, result: Any) -> None:
+        """Store ``result`` under ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters (hits include submission-time short-circuits)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+            }

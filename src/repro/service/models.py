@@ -1,0 +1,217 @@
+"""Request/job data model of the decomposition service.
+
+A :class:`DecompositionRequest` is the one client-facing description of a
+decomposition: the tensor (dense ndarray or sparse
+:class:`~repro.sparse.CooTensor`), the algorithm (``"als"``, ``"pp"`` or
+``"multi_start"``), an :class:`~repro.core.options.ALSOptions`-family bundle
+for every solver setting, and an optional root seed.  Construction normalizes
+the request — a bare ``rank`` becomes the algorithm's default options bundle,
+a seed carried inside the bundle is hoisted into :attr:`DecompositionRequest.seed`
+— so one canonical form reaches the queue, the workers and the artifact key.
+
+:func:`tensor_fingerprint` hashes the tensor *content* (shape, dtype and the
+nonzero pattern/values), so two structurally identical submissions share an
+artifact-cache entry even when they are distinct objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.options import ALSOptions, ParallelOptions, PPOptions
+from repro.sparse.coo import CooTensor
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "JobState",
+    "DecompositionRequest",
+    "Job",
+    "artifact_key",
+    "tensor_fingerprint",
+]
+
+_ALGORITHMS = ("als", "pp", "multi_start")
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a service job.
+
+    ``PENDING -> RUNNING -> DONE | FAILED | CANCELLED``; a pending job can
+    also move straight to ``CANCELLED`` (before a worker picks it up) or to
+    ``DONE`` (artifact-cache hit at submission).
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+def tensor_fingerprint(tensor: np.ndarray | CooTensor) -> str:
+    """Content hash of a dense or sparse tensor (hex sha256).
+
+    The fingerprint covers shape, dtype and the full value content (for
+    sparse tensors: the canonical index matrix plus the value vector), so it
+    identifies the mathematical tensor rather than the Python object — the
+    artifact cache keys on it.
+    """
+    digest = hashlib.sha256()
+    if isinstance(tensor, CooTensor):
+        digest.update(b"coo")
+        digest.update(repr(tensor.shape).encode())
+        digest.update(str(tensor.dtype).encode())
+        digest.update(np.ascontiguousarray(tensor.indices).tobytes())
+        digest.update(np.ascontiguousarray(tensor.values).tobytes())
+    else:
+        arr = np.asarray(tensor)
+        digest.update(b"dense")
+        digest.update(repr(arr.shape).encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class DecompositionRequest:
+    """Everything a client specifies to get a decomposition.
+
+    Parameters
+    ----------
+    tensor:
+        Dense ndarray or sparse :class:`~repro.sparse.CooTensor`.
+    rank:
+        CP rank; required unless carried by ``options``.
+    algorithm:
+        ``"als"`` (:func:`~repro.core.cp_als.cp_als`), ``"pp"``
+        (:func:`~repro.core.pp_cp_als.pp_cp_als`) or ``"multi_start"``
+        (:func:`~repro.core.multi_start.multi_start`; the inner solver follows
+        the options bundle type).
+    options:
+        An :class:`~repro.core.options.ALSOptions` /
+        :class:`~repro.core.options.PPOptions` bundle.  When omitted, the
+        algorithm's default bundle is built from ``rank``.  A ``seed`` inside
+        the bundle is hoisted into :attr:`seed` so the request has exactly one
+        seed channel.
+    n_starts:
+        Number of random starts (only meaningful for ``"multi_start"``).
+    seed:
+        Root seed.  ``None`` lets the service derive a per-job seed from its
+        own root :class:`numpy.random.SeedSequence`; the artifact key still
+        treats two ``seed=None`` submissions as identical, so resubmission is
+        a cache hit (the derived seed of the first run is recorded on the job
+        as ``resolved_seed``).
+    """
+
+    tensor: Any
+    rank: int | None = None
+    algorithm: str = "als"
+    options: ALSOptions | None = None
+    n_starts: int = 8
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tensor, (np.ndarray, CooTensor)):
+            raise TypeError(
+                "tensor must be a numpy ndarray or CooTensor, got "
+                f"{type(self.tensor).__name__}"
+            )
+        if self.algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; available: {sorted(_ALGORITHMS)}"
+            )
+        self.n_starts = check_positive_int(self.n_starts, "n_starts")
+        if self.options is None:
+            if self.rank is None:
+                raise TypeError("rank is required (pass rank= or an options= bundle)")
+            cls = PPOptions if self.algorithm == "pp" else ALSOptions
+            self.options = cls.from_kwargs(rank=self.rank)
+        elif isinstance(self.options, ParallelOptions):
+            raise TypeError(
+                "the service runs the sequential solvers; pass ALSOptions or "
+                "PPOptions, not a parallel bundle"
+            )
+        elif not isinstance(self.options, ALSOptions):
+            raise TypeError(
+                f"options must be an ALSOptions bundle, got {type(self.options).__name__}"
+            )
+        else:
+            if self.rank is not None and self.rank != self.options.rank:
+                raise ValueError(
+                    f"rank={self.rank} conflicts with options.rank={self.options.rank}"
+                )
+            if self.algorithm == "pp" and not isinstance(self.options, PPOptions):
+                raise TypeError('algorithm "pp" requires a PPOptions bundle')
+        # one seed channel: hoist a bundle-borne seed onto the request
+        if self.options.seed is not None:
+            if self.seed is not None and self.seed != self.options.seed:
+                raise ValueError(
+                    f"seed={self.seed} conflicts with options.seed={self.options.seed}"
+                )
+            self.seed = self.options.seed
+            self.options = dataclasses.replace(self.options, seed=None)
+        self.rank = self.options.rank
+
+    def fingerprint(self) -> str:
+        """Content hash of the request's tensor (see :func:`tensor_fingerprint`)."""
+        return tensor_fingerprint(self.tensor)
+
+
+def artifact_key(request: DecompositionRequest) -> tuple:
+    """Canonical artifact-cache key of a request.
+
+    Two requests collide exactly when they describe the same computation:
+    same tensor content, algorithm, options bundle, start count and client
+    seed (``None`` counts as a value, so unseeded resubmissions hit the
+    cache of the first unseeded run).
+    """
+    return (
+        request.fingerprint(),
+        request.algorithm,
+        request.options.cache_key(),
+        request.n_starts if request.algorithm == "multi_start" else 1,
+        request.seed,
+    )
+
+
+@dataclass
+class Job:
+    """One submitted decomposition tracked through its lifecycle."""
+
+    id: str
+    request: DecompositionRequest
+    state: JobState = JobState.PENDING
+    #: seed the run actually used (the request seed, or the service-derived one)
+    resolved_seed: int | None = None
+    result: Any = None
+    error: BaseException | None = None
+    from_artifact_cache: bool = False
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: set by :meth:`DecompositionService.cancel`; the sweep callback checks it
+    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: full progress-event history (replayed to late stream subscribers)
+    events: list = field(default_factory=list, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.state.terminal
+
+    @property
+    def elapsed_seconds(self) -> float | None:
+        """Wall-clock run time (``None`` until the job finishes running)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at

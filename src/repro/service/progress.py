@@ -1,0 +1,83 @@
+"""Progress streaming and cancellation plumbing for service jobs.
+
+The drivers already expose a per-sweep ``callback(sweep_index, factors,
+fitness)`` hook; the service turns it into two things:
+
+* **streaming** — every sweep publishes a :class:`ProgressEvent` onto the
+  owning event loop (``loop.call_soon_threadsafe`` from the worker thread),
+  and a :class:`ProgressStream` is an async iterator over those events.  A
+  stream opened after the job started replays the recorded history first,
+  then follows live events; it ends when the job reaches a terminal state.
+* **cancellation** — the callback raises :class:`JobCancelled` when the
+  job's cancel flag is set; the drivers propagate callback exceptions, so
+  the run aborts at the next sweep boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.service.models import JobState
+
+__all__ = ["JobCancelled", "ProgressEvent", "ProgressStream"]
+
+
+class JobCancelled(Exception):
+    """Raised inside a worker's sweep callback to abort a cancelled job."""
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One update on a job: a completed sweep or a state transition.
+
+    ``kind`` is ``"sweep"`` (``sweep``/``fitness`` populated) or ``"state"``
+    (``state`` populated; terminal states end the stream).
+    """
+
+    job_id: str
+    kind: str
+    sweep: int | None = None
+    fitness: float | None = None
+    state: JobState | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.kind == "state" and self.state is not None and self.state.terminal
+
+
+_CLOSE = object()  # stream sentinel
+
+
+class ProgressStream:
+    """Async iterator over a job's :class:`ProgressEvent` feed.
+
+    Created by :meth:`DecompositionService.stream`; iteration order is the
+    publication order (history replay first, then live events) and the
+    iterator stops after the terminal state event.
+    """
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+
+    # -- producer side (service, on the event loop) ----------------------------
+    def publish(self, event: ProgressEvent) -> None:
+        if not self._closed:
+            self._queue.put_nowait(event)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(_CLOSE)
+
+    # -- consumer side ---------------------------------------------------------
+    def __aiter__(self) -> "ProgressStream":
+        return self
+
+    async def __anext__(self) -> ProgressEvent:
+        item = await self._queue.get()
+        if item is _CLOSE:
+            raise StopAsyncIteration
+        return item

@@ -9,7 +9,15 @@ and :func:`repro.trees.registry.make_provider` through the
 """
 
 from repro.sparse.coo import CooTensor
-from repro.sparse.csf import CsfLevel, CsfTensor, FiberGrouping, fiber_grouping, segment_reduce
+from repro.sparse.csf import (
+    CsfLevel,
+    CsfTensor,
+    FiberGrouping,
+    csf_cache_stats,
+    fiber_grouping,
+    reset_csf_cache_stats,
+    segment_reduce,
+)
 from repro.sparse.mttkrp import DEFAULT_BLOCK_SIZE, sparse_mttkrp, sparse_partial_mttkrp
 
 __all__ = [
@@ -17,7 +25,9 @@ __all__ = [
     "CsfLevel",
     "CsfTensor",
     "FiberGrouping",
+    "csf_cache_stats",
     "fiber_grouping",
+    "reset_csf_cache_stats",
     "segment_reduce",
     "sparse_mttkrp",
     "sparse_partial_mttkrp",

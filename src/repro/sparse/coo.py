@@ -51,7 +51,7 @@ class CooTensor:
         Target floating dtype of ``values`` (default float64).
     """
 
-    __slots__ = ("indices", "values", "shape", "_mode_nnz_cache")
+    __slots__ = ("indices", "values", "shape", "_mode_nnz_cache", "_csf_cache")
 
     def __init__(
         self,
@@ -103,6 +103,7 @@ class CooTensor:
         self.values = np.ascontiguousarray(vals)
         self.shape = shape
         self._mode_nnz_cache = {}
+        self._csf_cache = {}
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -115,6 +116,7 @@ class CooTensor:
         out.values = values
         out.shape = shape
         out._mode_nnz_cache = {}
+        out._csf_cache = {}
         return out
 
     @classmethod

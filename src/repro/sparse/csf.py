@@ -26,6 +26,7 @@ full hierarchy.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -33,8 +34,35 @@ import numpy as np
 
 from repro.sparse.coo import CooTensor
 
-__all__ = ["CsfLevel", "CsfTensor", "FiberGrouping", "fiber_grouping",
-           "run_starts", "segment_reduce"]
+__all__ = ["CsfLevel", "CsfTensor", "FiberGrouping", "csf_cache_stats",
+           "fiber_grouping", "reset_csf_cache_stats", "run_starts",
+           "segment_reduce"]
+
+# Guards every CooTensor's per-instance layout cache (the tensors are shared
+# across multi-start / service worker threads) and the process-wide counters.
+_CSF_CACHE_LOCK = threading.Lock()
+_CSF_CACHE_HITS = 0
+_CSF_CACHE_MISSES = 0
+
+
+def csf_cache_stats() -> dict:
+    """Process-wide hit/miss counters of the shared CSF layout cache.
+
+    Every :meth:`CsfTensor.from_coo` call resolves through the source
+    tensor's per-instance layout cache; a *hit* means two consumers (e.g.
+    two service jobs, or the exact sweeps and the PP operators of one run)
+    shared one layout build for the same tensor object and mode ordering.
+    """
+    with _CSF_CACHE_LOCK:
+        return {"hits": _CSF_CACHE_HITS, "misses": _CSF_CACHE_MISSES}
+
+
+def reset_csf_cache_stats() -> None:
+    """Zero the process-wide CSF cache counters (test/benchmark isolation)."""
+    global _CSF_CACHE_HITS, _CSF_CACHE_MISSES
+    with _CSF_CACHE_LOCK:
+        _CSF_CACHE_HITS = 0
+        _CSF_CACHE_MISSES = 0
 
 
 def segment_reduce(block: np.ndarray, starts: np.ndarray) -> np.ndarray:
@@ -179,8 +207,31 @@ class CsfTensor:
     @classmethod
     def from_coo(cls, tensor: CooTensor,
                  mode_order: Sequence[int] | None = None) -> "CsfTensor":
-        """Build the CSF layout of ``tensor`` for ``mode_order`` (default identity)."""
-        return cls(tensor, mode_order)
+        """The CSF layout of ``tensor`` for ``mode_order`` (default identity).
+
+        Layouts depend only on the (immutable) sparsity pattern, so they are
+        built once per ``(tensor, mode_order)`` and cached on the tensor
+        instance — every consumer holding the same :class:`CooTensor` object
+        (concurrent service jobs, multi-start threads, the PP operators of a
+        running sweep) shares one build.  Process-wide hit/miss counters are
+        exposed via :func:`csf_cache_stats`.
+        """
+        global _CSF_CACHE_HITS, _CSF_CACHE_MISSES
+        if not isinstance(tensor, CooTensor):
+            return cls(tensor, mode_order)  # constructor raises the TypeError
+        key = (tuple(range(tensor.ndim)) if mode_order is None
+               else _check_mode_order(mode_order, tensor.ndim))
+        with _CSF_CACHE_LOCK:
+            cached = tensor._csf_cache.get(key)
+            if cached is not None:
+                _CSF_CACHE_HITS += 1
+                return cached
+            _CSF_CACHE_MISSES += 1
+        # build outside the lock: layouts are deterministic, so a racing
+        # duplicate build is wasted work but never wrong
+        layout = cls(tensor, key)
+        with _CSF_CACHE_LOCK:
+            return tensor._csf_cache.setdefault(key, layout)
 
     # -- permuted views of the source -----------------------------------------
     def sorted_column(self, depth: int) -> np.ndarray:

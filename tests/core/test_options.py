@@ -1,0 +1,208 @@
+"""Unit tests for the options bundles and the driver options= parameter."""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.cp_als import cp_als
+from repro.core.multi_start import multi_start
+from repro.core.options import (
+    ALSOptions,
+    ParallelOptions,
+    ParallelPPOptions,
+    PPOptions,
+    resolve_options,
+)
+from repro.core.parallel_cp_als import parallel_cp_als
+from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
+from repro.core.pp_cp_als import pp_cp_als
+from repro.tensor.cp_format import random_cp_tensor
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_cp_tensor((8, 9, 10), rank=3, seed=0).full()
+
+
+class TestBundles:
+    def test_defaults_match_driver_defaults(self):
+        """The audit fix: each bundle's defaults equal its driver's defaults."""
+        als = ALSOptions(rank=3)
+        assert (als.n_sweeps, als.tol, als.mttkrp) == (50, 1.0e-5, "dt")
+        pp = PPOptions(rank=3)
+        assert (pp.n_sweeps, pp.pp_tol, pp.mttkrp) == (300, 0.1, "msdt")
+        assert pp.max_pp_sweeps_per_phase == 200
+        par = ParallelOptions(rank=3, grid=(2, 2, 2))
+        assert (par.n_sweeps, par.distributed_solve) == (25, True)
+        assert par.partitioner == "nnz-balanced"
+        ppp = ParallelPPOptions(rank=3, grid=(2, 2, 2))
+        assert (ppp.n_sweeps, ppp.pp_tol, ppp.mttkrp) == (300, 0.1, "msdt")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ALSOptions(rank=0)
+        with pytest.raises(ValueError):
+            ALSOptions(rank=3, n_sweeps=0)
+        with pytest.raises(ValueError):
+            ALSOptions(rank=3, tol=-1.0)
+        with pytest.raises(ValueError):
+            PPOptions(rank=3, pp_tol=1.5)
+        with pytest.raises(ValueError):
+            ParallelOptions(rank=3, grid=(0, 2))
+
+    def test_grid_normalized_to_tuple(self):
+        assert ParallelOptions(rank=3, grid=[2, 3]).grid == (2, 3)
+
+    def test_from_kwargs_roundtrip(self):
+        opts = PPOptions.from_kwargs(rank=4, n_sweeps=10, pp_tol=0.2)
+        assert opts == PPOptions(rank=4, n_sweeps=10, pp_tol=0.2)
+        rebuilt = PPOptions.from_kwargs(**opts.to_kwargs())
+        assert rebuilt == opts
+
+    def test_from_kwargs_drops_none_and_rejects_unknown(self):
+        opts = ALSOptions.from_kwargs(rank=3, tol=None)
+        assert opts.tol == ALSOptions(rank=3).tol
+        with pytest.raises(TypeError):
+            ALSOptions.from_kwargs(rank=3, nope=1)
+        with pytest.raises(TypeError):
+            ALSOptions.from_kwargs()
+
+    def test_cache_key_distinguishes_types_and_values(self):
+        a = ALSOptions(rank=3)
+        assert a.cache_key() == ALSOptions(rank=3).cache_key()
+        assert a.cache_key() != ALSOptions(rank=4).cache_key()
+        # PPOptions with matching shared fields still keys differently
+        assert a.cache_key() != PPOptions(rank=3, n_sweeps=50, mttkrp="dt").cache_key()
+
+
+class TestResolveOptions:
+    def test_kwargs_only(self):
+        opts = resolve_options(ALSOptions, None, {"rank": 3, "tol": None})
+        assert opts == ALSOptions(rank=3)
+
+    def test_options_only(self):
+        bundle = PPOptions(rank=3, n_sweeps=7)
+        opts = resolve_options(PPOptions, bundle, {"rank": None, "n_sweeps": None})
+        assert opts == bundle
+
+    def test_both_warns_and_kwargs_win(self):
+        bundle = ALSOptions(rank=3, n_sweeps=5)
+        with pytest.warns(DeprecationWarning):
+            opts = resolve_options(ALSOptions, bundle, {"rank": None, "n_sweeps": 9})
+        assert opts.n_sweeps == 9
+        assert opts.rank == 3
+
+    def test_wrong_bundle_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_options(ALSOptions, object(), {"rank": 3})
+
+
+class TestDriverWiring:
+    def test_cp_als_options_param(self, tensor):
+        result = cp_als(tensor, options=ALSOptions(rank=3, n_sweeps=4, seed=0))
+        assert result.n_sweeps <= 4
+        assert result.options["rank"] == 3
+
+    def test_cp_als_requires_rank(self, tensor):
+        with pytest.raises(TypeError):
+            cp_als(tensor)
+
+    def test_cp_als_both_spellings_warn(self, tensor):
+        with pytest.warns(DeprecationWarning):
+            result = cp_als(tensor, n_sweeps=2,
+                            options=ALSOptions(rank=3, n_sweeps=8, seed=0))
+        assert result.options["n_sweeps"] == 2
+
+    def test_pp_cp_als_options_param(self, tensor):
+        result = pp_cp_als(tensor, options=PPOptions(rank=3, n_sweeps=5, seed=1))
+        assert result.options["pp_tol"] == 0.1
+
+    def test_multi_start_infers_algorithm(self, tensor):
+        result = multi_start(tensor, n_starts=2,
+                             options=PPOptions(rank=3, n_sweeps=4, seed=0))
+        assert result.algorithm == "pp"
+        result = multi_start(tensor, n_starts=2,
+                             options=ALSOptions(rank=3, n_sweeps=4, seed=0))
+        assert result.algorithm == "als"
+
+    def test_multi_start_rejects_parallel_bundle(self, tensor):
+        with pytest.raises(TypeError):
+            multi_start(tensor, options=ParallelOptions(rank=3, grid=(2, 2, 2)))
+
+    def test_parallel_drivers_accept_bundles(self, tensor):
+        opts = ParallelOptions(rank=3, grid=(1, 1, 2), n_sweeps=3, seed=0)
+        result = parallel_cp_als(tensor, options=opts)
+        assert result.options["grid"] == (1, 1, 2)
+        ppo = ParallelPPOptions(rank=3, grid=(1, 1, 2), n_sweeps=3, seed=0)
+        result = parallel_pp_cp_als(tensor, options=ppo)
+        assert result.grid_dims == (1, 1, 2)
+
+    def test_parallel_requires_grid(self, tensor):
+        with pytest.raises(TypeError):
+            parallel_cp_als(tensor, rank=3)
+
+    def test_parallel_grid_instance_preserved(self, tensor):
+        from repro.grid.processor_grid import ProcessorGrid
+
+        grid = ProcessorGrid((1, 2, 1))
+        with pytest.warns(DeprecationWarning):
+            result = parallel_cp_als(
+                tensor, grid=grid, n_sweeps=2,
+                options=ParallelOptions(rank=3, grid=(1, 2, 1), seed=0),
+            )
+        assert result.grid_dims == (1, 2, 1)
+
+
+class TestLegacyEquivalence:
+    """options= and the equivalent keywords produce bit-identical runs."""
+
+    def test_cp_als_bitwise(self, tensor):
+        a = cp_als(tensor, rank=3, n_sweeps=6, tol=1e-7, mttkrp="msdt", seed=11)
+        b = cp_als(tensor, options=ALSOptions(rank=3, n_sweeps=6, tol=1e-7,
+                                              mttkrp="msdt", seed=11))
+        for fa, fb in zip(a.factors, b.factors):
+            assert np.array_equal(fa, fb)
+
+    def test_pp_cp_als_bitwise(self, tensor):
+        a = pp_cp_als(tensor, rank=3, n_sweeps=8, pp_tol=0.3, seed=11)
+        b = pp_cp_als(tensor, options=PPOptions(rank=3, n_sweeps=8, pp_tol=0.3,
+                                                seed=11))
+        for fa, fb in zip(a.factors, b.factors):
+            assert np.array_equal(fa, fb)
+
+    def test_multi_start_bitwise(self, tensor):
+        a = multi_start(tensor, rank=3, n_starts=3, seed=2, n_sweeps=4)
+        b = multi_start(tensor, n_starts=3,
+                        options=ALSOptions(rank=3, n_sweeps=4, seed=2))
+        assert a.best_index == b.best_index
+        for fa, fb in zip(a.factors, b.factors):
+            assert np.array_equal(fa, fb)
+
+    def test_no_warning_for_pure_spellings(self, tensor):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cp_als(tensor, rank=3, n_sweeps=2, seed=0)
+            cp_als(tensor, options=ALSOptions(rank=3, n_sweeps=2, seed=0))
+            multi_start(tensor, n_starts=2,
+                        options=ALSOptions(rank=3, n_sweeps=2, seed=0))
+
+
+class TestResultBase:
+    def test_multi_start_result_shares_accessor_surface(self, tensor):
+        result = multi_start(tensor, rank=3, n_starts=2, seed=0, n_sweeps=3)
+        assert result.factors is result.best.factors
+        assert result.residual == result.best.residual
+        assert result.converged == result.best.converged
+        assert result.n_sweeps == result.best.n_sweeps
+        assert result.sweeps is result.best.sweeps
+        assert result.cp.rank == 3
+        assert result.count_sweeps("als") == result.best.count_sweeps("als")
+        assert result.fitness_history() == result.best.fitness_history()
+
+    def test_options_replace_preserves_type(self):
+        opts = PPOptions(rank=3)
+        replaced = dataclasses.replace(opts, seed=5)
+        assert isinstance(replaced, PPOptions)
+        assert replaced.seed == 5

@@ -1,0 +1,96 @@
+"""Property tests: options= bundles are bit-identical to the legacy kwargs.
+
+The unified driver API promises that expanding a bundle to the equivalent
+keywords (or vice versa) changes nothing about the computation.  Hypothesis
+draws random tensors and random option values, runs each driver both ways,
+and requires bit-identical factor matrices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cp_als import cp_als
+from repro.core.multi_start import multi_start
+from repro.core.options import ALSOptions, PPOptions
+from repro.core.pp_cp_als import pp_cp_als
+
+pytestmark = pytest.mark.property
+
+
+def _tensor(data):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+    order = data.draw(st.integers(3, 4))
+    shape = tuple(data.draw(st.integers(3, 6)) for _ in range(order))
+    return rng.random(shape)
+
+
+def _assert_identical(a, b):
+    assert len(a.factors) == len(b.factors)
+    for fa, fb in zip(a.factors, b.factors):
+        np.testing.assert_array_equal(fa, fb)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_cp_als_options_equals_kwargs(data):
+    tensor = _tensor(data)
+    rank = data.draw(st.integers(1, 3))
+    n_sweeps = data.draw(st.integers(1, 6))
+    mttkrp = data.draw(st.sampled_from(["dt", "msdt", "naive"]))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    kwargs = dict(rank=rank, n_sweeps=n_sweeps, mttkrp=mttkrp, seed=seed)
+    _assert_identical(
+        cp_als(tensor, **kwargs),
+        cp_als(tensor, options=ALSOptions(**kwargs)),
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_pp_cp_als_options_equals_kwargs(data):
+    tensor = _tensor(data)
+    rank = data.draw(st.integers(1, 3))
+    n_sweeps = data.draw(st.integers(1, 8))
+    pp_tol = data.draw(st.sampled_from([0.1, 0.3, 0.5]))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    kwargs = dict(rank=rank, n_sweeps=n_sweeps, pp_tol=pp_tol, seed=seed)
+    _assert_identical(
+        pp_cp_als(tensor, **kwargs),
+        pp_cp_als(tensor, options=PPOptions(**kwargs)),
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(data=st.data())
+def test_multi_start_options_equals_kwargs(data):
+    tensor = _tensor(data)
+    rank = data.draw(st.integers(1, 3))
+    n_starts = data.draw(st.integers(1, 3))
+    n_sweeps = data.draw(st.integers(1, 4))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    a = multi_start(tensor, rank=rank, n_starts=n_starts, seed=seed,
+                    n_sweeps=n_sweeps)
+    b = multi_start(tensor, n_starts=n_starts,
+                    options=ALSOptions(rank=rank, n_sweeps=n_sweeps, seed=seed))
+    assert a.best_index == b.best_index
+    _assert_identical(a, b)
+    np.testing.assert_array_equal(a.fitnesses(), b.fitnesses())
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_kwargs_roundtrip_is_identity(data):
+    """from_kwargs(**opts.to_kwargs()) reconstructs the bundle exactly."""
+    cls = data.draw(st.sampled_from([ALSOptions, PPOptions]))
+    fields = dict(
+        rank=data.draw(st.integers(1, 16)),
+        n_sweeps=data.draw(st.integers(1, 500)),
+        tol=data.draw(st.floats(0, 1e-2, allow_nan=False)),
+        seed=data.draw(st.one_of(st.none(), st.integers(0, 2**31 - 1))),
+    )
+    if cls is PPOptions:
+        fields["pp_tol"] = data.draw(st.floats(0.01, 0.99, allow_nan=False))
+    opts = cls(**fields)
+    assert cls.from_kwargs(**opts.to_kwargs()) == opts
+    assert opts.cache_key() == cls(**fields).cache_key()

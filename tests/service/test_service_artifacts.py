@@ -1,0 +1,67 @@
+"""Unit tests for the artifact cache."""
+
+import threading
+
+import pytest
+
+from repro.service.artifacts import ArtifactCache
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), "result")
+        assert cache.get(("k",)) == "result"
+        assert cache.stats() == {"entries": 1, "max_entries": 128,
+                                 "hits": 1, "misses": 1}
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # touch: a is now most recent
+        cache.put(("c",), 3)           # evicts b
+        assert ("b",) not in cache
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3
+        assert len(cache) == 2
+
+    def test_put_overwrites(self):
+        cache = ArtifactCache()
+        cache.put(("k",), 1)
+        cache.put(("k",), 2)
+        assert cache.get(("k",)) == 2
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = ArtifactCache()
+        cache.put(("k",), 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(("k",)) is None
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+    def test_thread_safety_smoke(self):
+        cache = ArtifactCache(max_entries=32)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    key = (base, i % 8)
+                    cache.put(key, i)
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32
