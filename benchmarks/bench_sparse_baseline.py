@@ -3,8 +3,10 @@
 The standard sparse regression anchor: a fixed synthetic low-rank tensor
 (200^3, ~1% density, 80k nonzeros) decomposed for a fixed number of sweeps
 with each amortizing engine.  Tracked metrics are the deterministic per-engine
-flop counts (CI fails on >15% drift against the committed
-``BENCH_sparse.json``); wall-clock per sweep is informational.
+flop counts, the PP-checkpoint operator-build flops off a warmed MSDT
+provider, and the nnz-balanced partition's max-imbalance on the benchmark
+grid (CI fails on >15% drift against the committed ``BENCH_sparse.json``);
+wall-clock per sweep is informational.
 
 Run as a script to (re)generate the baseline::
 
@@ -18,19 +20,49 @@ import json
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.cp_als import cp_als
 from repro.core.options import ALSOptions
 from repro.data.sparse_synthetic import sparse_low_rank_tensor
+from repro.grid.balance import make_partition
+from repro.grid.processor_grid import ProcessorGrid
+from repro.machine.cost_tracker import CostTracker
+from repro.trees import PairwiseOperators
+from repro.trees.registry import make_provider
 
 try:  # pytest-only flag; absent when run as a plain script
     from conftest import BENCH_TINY
 except ImportError:  # pragma: no cover - script mode
     BENCH_TINY = False
 
-FULL_CONFIG = {"shape": (200, 200, 200), "density": 0.01, "rank": 8, "n_sweeps": 5}
-TINY_CONFIG = {"shape": (20, 20, 20), "density": 0.05, "rank": 3, "n_sweeps": 2}
+FULL_CONFIG = {"shape": (200, 200, 200), "density": 0.01, "rank": 8,
+               "n_sweeps": 5, "grid": (2, 2, 2)}
+TINY_CONFIG = {"shape": (20, 20, 20), "density": 0.05, "rank": 3,
+               "n_sweeps": 2, "grid": (2, 2, 2)}
 
 ENGINES = ("dt", "msdt")
+
+
+def pp_checkpoint_flops(tensor, rank: int) -> tuple[int, float]:
+    """Tracked flops (and wall-clock) of one PP-checkpoint operator build.
+
+    Mirrors the ``pp_cp_als`` configuration: the checkpoint is taken right
+    after an exact MSDT sweep, so the provider's structural caches and
+    still-valid intermediates already exist — only the pairwise-operator
+    build itself is charged.
+    """
+    rng = np.random.default_rng(0)
+    factors = [rng.random((s, rank)) for s in tensor.shape]
+    tracker = CostTracker()
+    provider = make_provider("msdt", tensor, factors, tracker=tracker)
+    for mode in range(len(tensor.shape)):
+        provider.mttkrp(mode)
+    before = tracker.total_flops
+    start = time.perf_counter()
+    PairwiseOperators.build(tensor, provider.factors, tracker=tracker,
+                            provider=provider)
+    return tracker.total_flops - before, time.perf_counter() - start
 
 
 def run_sweeps(config: dict) -> dict:
@@ -50,6 +82,25 @@ def run_sweeps(config: dict) -> dict:
         info[f"wall_s_{engine}"] = wall
         info[f"seconds_per_sweep_{engine}"] = wall / result.n_sweeps
         info[f"fitness_{engine}"] = result.fitness
+
+    checkpoint_flops, checkpoint_wall = pp_checkpoint_flops(
+        tensor, config["rank"]
+    )
+    tracked["flops_pp_checkpoint"] = int(checkpoint_flops)
+    info["wall_s_pp_checkpoint"] = checkpoint_wall
+
+    # nnz-balanced partition quality on the benchmark grid: max-imbalance is
+    # a deterministic function of the (seeded) tensor, so a drift here means
+    # the balancer itself changed
+    partition = make_partition("nnz-balanced", tensor,
+                               ProcessorGrid(tuple(config["grid"])))
+    partition_report = partition.report(tensor)
+    tracked["partition_max_imbalance_pct"] = int(
+        round(100 * float(partition_report.imbalance))
+    )
+    info["partition_per_rank_nnz_max"] = int(
+        np.max(partition_report.per_rank_nnz)
+    )
     return {
         "name": "sparse_baseline",
         "config": {k: list(v) if isinstance(v, tuple) else v

@@ -35,12 +35,18 @@ from repro.contract import ContractionEngine, default_engine
 from repro.core.cp_als import cp_als
 from repro.sparse import CooTensor, CsfTensor, sparse_mttkrp, sparse_partial_mttkrp
 from repro.core.pp_cp_als import pp_cp_als
+from repro.core.nn_cp_als import nn_cp_als
+from repro.core.masked_cp_als import MaskedALSResult, masked_cp_als
+from repro.core.algorithms import available_algorithms, get_algorithm
+from repro.core.updates import UpdateRule, available_update_rules, make_update_rule
 from repro.core.multi_start import MultiStartResult, multi_start, start_seeds
 from repro.core.parallel_cp_als import parallel_cp_als
 from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
 from repro.core.results import ALSResult, ParallelALSResult, ResultBase, SweepRecord
 from repro.core.options import (
     ALSOptions,
+    MaskedOptions,
+    NNOptions,
     ParallelOptions,
     ParallelPPOptions,
     PPOptions,
@@ -64,9 +70,17 @@ __all__ = [
     "__version__",
     "cp_als",
     "pp_cp_als",
+    "nn_cp_als",
+    "masked_cp_als",
     "multi_start",
     "MultiStartResult",
+    "MaskedALSResult",
     "start_seeds",
+    "available_algorithms",
+    "get_algorithm",
+    "UpdateRule",
+    "available_update_rules",
+    "make_update_rule",
     "ContractionEngine",
     "default_engine",
     "parallel_cp_als",
@@ -77,6 +91,8 @@ __all__ = [
     "SweepRecord",
     "ALSOptions",
     "PPOptions",
+    "NNOptions",
+    "MaskedOptions",
     "ParallelOptions",
     "ParallelPPOptions",
     "ArtifactCache",

@@ -9,14 +9,26 @@
   simulated processor grid with local-MTTKRP dimension trees.
 * :func:`repro.core.parallel_pp_cp_als.parallel_pp_cp_als` — Algorithm 4, the
   communication-efficient parallel PP algorithm contributed by the paper.
+* :func:`repro.core.nn_cp_als.nn_cp_als` — nonnegative CP (HALS or
+  multiplicative updates) on the same engines via the shared sweep kernel.
+* :func:`repro.core.masked_cp_als.masked_cp_als` — masked/weighted ALS over
+  an observed-entry pattern (missing-data tensors).
 * :func:`repro.core.multi_start.multi_start` — batched best-of-K multi-start
-  driver over either sequential algorithm, with deterministic per-start seeds
-  and optional worker threads sharing one contraction-plan cache.
+  driver over any registered sequential algorithm, with deterministic
+  per-start seeds and optional worker threads sharing one contraction-plan
+  cache.
+
+The per-mode factor updates live in :mod:`repro.core.updates` (the
+:class:`~repro.core.updates.UpdateRule` objects plus the shared
+:func:`~repro.core.updates.sweep` kernel every driver runs), and the
+name → (driver, options-class) registry in :mod:`repro.core.algorithms`.
 """
 
 from repro.core.options import (
     ALSOptions,
     PPOptions,
+    NNOptions,
+    MaskedOptions,
     ParallelOptions,
     ParallelPPOptions,
     resolve_options,
@@ -30,8 +42,23 @@ from repro.core.pp_corrections import (
     delta_gram,
     pp_step_within_tolerance,
 )
+from repro.core.updates import (
+    UpdateRule,
+    make_update_rule,
+    available_update_rules,
+    sweep,
+)
 from repro.core.cp_als import cp_als
 from repro.core.pp_cp_als import pp_cp_als
+from repro.core.nn_cp_als import nn_cp_als
+from repro.core.masked_cp_als import MaskedALSResult, masked_cp_als
+from repro.core.algorithms import (
+    AlgorithmSpec,
+    algorithm_for_options,
+    available_algorithms,
+    get_algorithm,
+    options_class_for,
+)
 from repro.core.multi_start import MultiStartResult, multi_start, start_seeds
 from repro.core.parallel_cp_als import parallel_cp_als
 from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
@@ -39,13 +66,25 @@ from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
 __all__ = [
     "ALSOptions",
     "PPOptions",
+    "NNOptions",
+    "MaskedOptions",
     "ParallelOptions",
     "ParallelPPOptions",
     "resolve_options",
     "ALSResult",
+    "MaskedALSResult",
     "ParallelALSResult",
     "ResultBase",
     "SweepRecord",
+    "UpdateRule",
+    "make_update_rule",
+    "available_update_rules",
+    "sweep",
+    "AlgorithmSpec",
+    "algorithm_for_options",
+    "available_algorithms",
+    "get_algorithm",
+    "options_class_for",
     "init_factors",
     "gram_matrix",
     "gamma_chain",
@@ -56,6 +95,8 @@ __all__ = [
     "pp_step_within_tolerance",
     "cp_als",
     "pp_cp_als",
+    "nn_cp_als",
+    "masked_cp_als",
     "multi_start",
     "MultiStartResult",
     "start_seeds",

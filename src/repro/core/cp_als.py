@@ -8,15 +8,15 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.initialization import prepare_als_inputs
-from repro.core.normal_equations import gamma_chain, gram_matrix, solve_normal_equations
+from repro.core.normal_equations import gram_matrix
 from repro.core.options import ALSOptions, resolve_options
-from repro.core.results import ALSResult, SweepRecord
+from repro.core.results import ALSResult, ResultBase, SweepRecord
+from repro.core.updates import UpdateRule, make_update_rule, sweep
 from repro.machine.cost_tracker import CostTracker
-from repro.tensor.norms import residual_from_mttkrp
 from repro.trees.base import MTTKRPProvider
 from repro.trees.registry import make_provider
 
-__all__ = ["cp_als", "run_regular_sweep"]
+__all__ = ["cp_als", "run_regular_sweep", "run_als_loop"]
 
 
 def run_regular_sweep(
@@ -26,22 +26,74 @@ def run_regular_sweep(
 ) -> np.ndarray:
     """Run one exact ALS sweep in place and return the last mode's MTTKRP.
 
-    Updates ``provider.factors`` (via :meth:`MTTKRPProvider.set_factor`) and
-    ``grams``; the returned ``M^(N-1)`` together with the refreshed Gram
-    matrices is everything Eq. (3) needs to evaluate the residual without
-    touching the tensor again.
+    Thin wrapper over the shared kernel :func:`repro.core.updates.sweep` with
+    the exact least-squares rule — kept for backward compatibility (PP uses it
+    for its exact sweeps too).
     """
-    order = provider.order
-    last_mttkrp: np.ndarray | None = None
-    for mode in range(order):
-        gamma = gamma_chain(grams, mode, tracker=tracker)
-        mttkrp_result = provider.mttkrp(mode)
-        updated = solve_normal_equations(gamma, mttkrp_result, tracker=tracker)
-        provider.set_factor(mode, updated)
-        grams[mode] = gram_matrix(updated, tracker=tracker)
-        last_mttkrp = mttkrp_result
-    assert last_mttkrp is not None
-    return last_mttkrp
+    return sweep(provider, grams, rule=None, tracker=tracker)
+
+
+def run_als_loop(
+    provider: MTTKRPProvider,
+    grams: list[np.ndarray],
+    norm_t: float,
+    rule: UpdateRule,
+    n_sweeps: int,
+    tol: float,
+    tracker: CostTracker,
+    record_sweeps: bool = True,
+    callback: Callable[[int, list[np.ndarray], float], None] | None = None,
+) -> tuple[float, bool, int, list[SweepRecord], float]:
+    """The shared sequential driver loop over :func:`repro.core.updates.sweep`.
+
+    Runs up to ``n_sweeps`` sweeps of ``rule`` on ``provider``/``grams``,
+    evaluating the rule's residual after each, recording
+    :class:`~repro.core.results.SweepRecord` entries and honoring the
+    ``|r_prev - r| < tol`` stopping criterion.  Returns ``(residual,
+    converged, sweeps_run, records, total_elapsed_seconds)`` —
+    :func:`cp_als`, :func:`~repro.core.nn_cp_als.nn_cp_als` and
+    :func:`~repro.core.masked_cp_als.masked_cp_als` all run through here.
+    """
+    records: list[SweepRecord] = []
+    residual = 1.0
+    previous_residual = np.inf
+    converged = False
+    cumulative = 0.0
+    run_start = time.perf_counter()
+    sweeps_run = 0
+
+    for sweep_index in range(n_sweeps):
+        sweep_start = time.perf_counter()
+        before = tracker.snapshot()
+        last_mttkrp = sweep(provider, grams, rule=rule, tracker=tracker)
+        residual = rule.residual(norm_t, last_mttkrp, provider, grams)
+        elapsed = time.perf_counter() - sweep_start
+        cumulative += elapsed
+        sweeps_run = sweep_index + 1
+        fitness = ResultBase.fitness_from_residual(residual)
+        if record_sweeps:
+            delta = tracker.diff_since(before)
+            records.append(
+                SweepRecord(
+                    index=sweep_index,
+                    sweep_type="als",
+                    fitness=fitness,
+                    residual=residual,
+                    elapsed_seconds=elapsed,
+                    cumulative_seconds=cumulative,
+                    kernel_seconds=delta.seconds_by_category,
+                    flops=delta.flops_by_category,
+                )
+            )
+        if callback is not None:
+            callback(sweep_index, [f.copy() for f in provider.factors], fitness)
+        if abs(previous_residual - residual) < tol:
+            converged = True
+            break
+        previous_residual = residual
+
+    total_elapsed = time.perf_counter() - run_start
+    return residual, converged, sweeps_run, records, total_elapsed
 
 
 def cp_als(
@@ -127,49 +179,15 @@ def cp_als(
                              max_cache_bytes=max_cache_bytes)
     grams = [gram_matrix(f, tracker=tracker) for f in provider.factors]
 
-    records: list[SweepRecord] = []
-    residual = 1.0
-    previous_residual = np.inf
-    converged = False
-    cumulative = 0.0
-    run_start = time.perf_counter()
-    sweeps_run = 0
+    residual, converged, sweeps_run, records, total_elapsed = run_als_loop(
+        provider, grams, norm_t, make_update_rule("least_squares"),
+        n_sweeps, tol, tracker,
+        record_sweeps=record_sweeps, callback=callback,
+    )
 
-    for sweep in range(n_sweeps):
-        sweep_start = time.perf_counter()
-        before = tracker.snapshot()
-        last_mttkrp = run_regular_sweep(provider, grams, tracker)
-        residual = residual_from_mttkrp(
-            norm_t, last_mttkrp, provider.factors[-1], grams, last_mode=provider.order - 1
-        )
-        elapsed = time.perf_counter() - sweep_start
-        cumulative += elapsed
-        sweeps_run = sweep + 1
-        if record_sweeps:
-            delta = tracker.diff_since(before)
-            records.append(
-                SweepRecord(
-                    index=sweep,
-                    sweep_type="als",
-                    fitness=1.0 - residual,
-                    residual=residual,
-                    elapsed_seconds=elapsed,
-                    cumulative_seconds=cumulative,
-                    kernel_seconds=delta.seconds_by_category,
-                    flops=delta.flops_by_category,
-                )
-            )
-        if callback is not None:
-            callback(sweep, [f.copy() for f in provider.factors], 1.0 - residual)
-        if abs(previous_residual - residual) < tol:
-            converged = True
-            break
-        previous_residual = residual
-
-    total_elapsed = time.perf_counter() - run_start
     return ALSResult(
         factors=[f.copy() for f in provider.factors],
-        fitness=1.0 - residual,
+        fitness=ResultBase.fitness_from_residual(residual),
         residual=residual,
         n_sweeps=sweeps_run,
         converged=converged,

@@ -26,16 +26,13 @@ from typing import List
 
 import numpy as np
 
-from repro.core.cp_als import cp_als
-from repro.core.options import ALSOptions, ParallelOptions, PPOptions
-from repro.core.pp_cp_als import pp_cp_als
+from repro.core.algorithms import algorithm_for_options, get_algorithm
+from repro.core.options import ALSOptions, ParallelOptions
 from repro.core.results import ALSResult, ResultBase, SweepRecord
 from repro.machine.cost_tracker import CostTracker
 from repro.utils.validation import check_positive_int
 
 __all__ = ["start_seeds", "multi_start", "MultiStartResult"]
-
-_ALGORITHMS = {"als": cp_als, "pp": pp_cp_als}
 
 
 def start_seeds(seed: int | None, n_starts: int) -> list[np.random.SeedSequence]:
@@ -188,10 +185,13 @@ def multi_start(
     n_starts:
         Number of independent random initializations ``K``.
     algorithm:
-        ``"als"`` (:func:`~repro.core.cp_als.cp_als`) or ``"pp"``
-        (:func:`~repro.core.pp_cp_als.pp_cp_als`).  When omitted it is
-        inferred from ``options`` (``"pp"`` for a
-        :class:`~repro.core.options.PPOptions` bundle, else ``"als"``).
+        Any name in the sequential-algorithm registry
+        (:func:`repro.core.algorithms.available_algorithms`): ``"als"``,
+        ``"pp"``, ``"nncp"`` or ``"masked"``.  When omitted it is inferred
+        from ``options`` via
+        :func:`repro.core.algorithms.algorithm_for_options` (e.g. an
+        :class:`~repro.core.options.NNOptions` bundle selects ``"nncp"``);
+        with no bundle either, ``"als"``.
     seed:
         Root seed; per-start seeds come from :func:`start_seeds` so the run is
         deterministic for any ``n_workers``.
@@ -228,7 +228,7 @@ def multi_start(
                 f"options must be an ALSOptions bundle, got {type(options).__name__}"
             )
         if algorithm is None:
-            algorithm = "pp" if isinstance(options, PPOptions) else "als"
+            algorithm = algorithm_for_options(options).name
         option_fields = {f.name for f in dataclasses.fields(type(options))}
         overrides = {k: v for k, v in solver_kwargs.items() if k in option_fields}
         if rank is not None:
@@ -256,9 +256,11 @@ def multi_start(
     algorithm = "als" if algorithm is None else algorithm
     n_starts = check_positive_int(n_starts, "n_starts")
     n_workers = check_positive_int(n_workers, "n_workers")
-    if algorithm not in _ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; available: {sorted(_ALGORITHMS)}"
+    spec = get_algorithm(algorithm)
+    if "mask" in solver_kwargs and not spec.accepts_mask:
+        raise TypeError(
+            f"algorithm {algorithm!r} does not accept a mask; "
+            f"masked decomposition runs under algorithm='masked'"
         )
     if "initial_factors" in solver_kwargs:
         # seed/tracker are named multi_start parameters and can never reach
@@ -268,7 +270,7 @@ def multi_start(
             "seed; explicit initial_factors are not supported (run the solver "
             "directly for a single chosen initialization)"
         )
-    solver = _ALGORITHMS[algorithm]
+    solver = spec.driver
     seeds = start_seeds(seed, n_starts)
     trackers = [CostTracker() for _ in range(n_starts)]
 

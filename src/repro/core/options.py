@@ -35,6 +35,8 @@ from repro.utils.validation import check_positive_int, check_rank
 __all__ = [
     "ALSOptions",
     "PPOptions",
+    "NNOptions",
+    "MaskedOptions",
     "ParallelOptions",
     "ParallelPPOptions",
     "resolve_options",
@@ -145,24 +147,70 @@ class PPOptions(ALSOptions):
 
 
 @dataclass
+class NNOptions(ALSOptions):
+    """Settings of a nonnegative CP run (:func:`~repro.core.nn_cp_als.nn_cp_als`).
+
+    ``update`` selects the nonnegative update rule: ``"hals"`` (default,
+    hierarchical ALS — exact cyclic column minimization) or
+    ``"multiplicative"`` (alias ``"mu"``, Lee–Seung multiplicative updates,
+    which additionally require an elementwise-nonnegative input tensor).
+    """
+
+    update: str = "hals"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.update = str(self.update).lower().strip()
+        if self.update == "mu":
+            self.update = "multiplicative"
+        if self.update not in ("hals", "multiplicative"):
+            raise ValueError(
+                f"update must be 'hals' or 'multiplicative', got {self.update!r}"
+            )
+
+
+@dataclass
+class MaskedOptions(ALSOptions):
+    """Settings of a masked/weighted ALS run (:func:`~repro.core.masked_cp_als.masked_cp_als`).
+
+    The observed-entry mask itself is *data*, not configuration — it travels
+    with the tensor through the drivers' ``mask=`` parameter (and the service
+    request's ``mask`` field), never inside the bundle, so the bundle stays
+    hashable for artifact-cache keys.
+    """
+
+
+@dataclass
 class ParallelOptions(ALSOptions):
     """Settings of a parallel run (Algorithm 3, :func:`parallel_cp_als`).
 
     ``n_sweeps`` defaults to 25 like the driver.  The PP-specific fields live
     on :class:`ParallelPPOptions` (Algorithm 4), which this class no longer
-    carries.
+    carries.  ``update`` selects the per-mode update rule applied to each
+    reduce-scattered chunk (every registered rule is row-separable, so the
+    parallel iterates match the sequential ones): ``"least_squares"``
+    (default), ``"hals"`` or ``"multiplicative"``.
     """
 
     n_sweeps: int = 25
     grid: Sequence[int] = field(default_factory=lambda: (1,))
     distributed_solve: bool = True
     partitioner: str = "nnz-balanced"
+    update: str = "least_squares"
 
     def __post_init__(self) -> None:
         super().__post_init__()
         self.grid = tuple(int(d) for d in self.grid)
         if any(d <= 0 for d in self.grid):
             raise ValueError(f"grid dimensions must be positive, got {self.grid}")
+        self.update = str(self.update).lower().strip()
+        if self.update == "mu":
+            self.update = "multiplicative"
+        if self.update not in ("least_squares", "hals", "multiplicative"):
+            raise ValueError(
+                "update must be 'least_squares', 'hals' or 'multiplicative', "
+                f"got {self.update!r}"
+            )
 
 
 @dataclass

@@ -37,6 +37,7 @@ __all__ = [
     "ParallelState",
     "setup_parallel_state",
     "parallel_mode_update",
+    "run_parallel_sweep",
     "zero_delta_factors",
     "allreduce_rowwise_product",
     "compute_gamma",
@@ -265,18 +266,36 @@ def _solve_chunks(
     gamma: np.ndarray,
     chunks: Dict[int, np.ndarray],
     group: Sequence[int],
+    rule=None,
+    factor_block: np.ndarray | None = None,
+    mode: int | None = None,
 ) -> Dict[int, np.ndarray]:
-    """Solve the normal equations for each rank's row chunk, charging its cost.
+    """Apply the update rule to each rank's row chunk, charging its cost.
 
-    ``distributed_solve=True`` models the paper's ScaLAPACK-style distributed
-    factorization (the R^3 cost is shared by the group, at the price of extra
-    latency); ``False`` models the PLANC approach where every rank factorizes
-    ``Gamma`` redundantly.
+    With the default exact least-squares update, ``distributed_solve=True``
+    models the paper's ScaLAPACK-style distributed factorization (the R^3
+    cost is shared by the group, at the price of extra latency);
+    ``False`` models the PLANC approach where every rank factorizes ``Gamma``
+    redundantly.  A non-default :class:`~repro.core.updates.UpdateRule` is
+    applied per chunk instead — every registered rule is row-separable, and
+    it charges its own flops through the rank's tracker (rules like HALS have
+    no shared R^3 factorization, so ``distributed_solve`` does not apply).
     """
     machine = state.machine
     rank_r = state.rank
     solved: Dict[int, np.ndarray] = {}
     group = list(group)
+    if rule is not None and rule.name != "least_squares":
+        if factor_block is None:
+            raise ValueError("factor_block is required for non-least-squares rules")
+        ranges = split_rows_evenly(factor_block.shape[0], len(group))
+        for proc, (start, stop) in zip(group, ranges):
+            solved[proc] = rule.update_rows(
+                mode, gamma, chunks[proc],
+                factor_block[start:stop],
+                tracker=machine.tracker(proc),
+            )
+        return solved
     for proc in group:
         chunk = chunks[proc]
         t0 = time.perf_counter()
@@ -298,6 +317,7 @@ def parallel_mode_update(
     state: ParallelState,
     mode: int,
     contributions: Dict[int, np.ndarray] | None = None,
+    rule=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One mode update of Algorithm 3 (lines 12-18).
 
@@ -312,6 +332,11 @@ def parallel_mode_update(
         PP driver, whose contributions come from the PP operators instead of
         the dimension tree).  When omitted they are obtained from each rank's
         MTTKRP engine.
+    rule:
+        Optional :class:`~repro.core.updates.UpdateRule` applied to each
+        rank's reduce-scattered row chunk (default: the exact least-squares
+        solve).  Rules are row-separable, so the parallel iterates match the
+        sequential driver running the same rule.
 
     Returns
     -------
@@ -336,7 +361,11 @@ def parallel_mode_update(
         group_contribs = {proc: contributions[proc] for proc in group}
         chunks = machine.reduce_scatter_rows(group_contribs, group)
         summed_blocks.append(np.concatenate([chunks[proc] for proc in group], axis=0))
-        solved_chunks = _solve_chunks(state, gamma, chunks, group)
+        solved_chunks = _solve_chunks(
+            state, gamma, chunks, group, rule=rule,
+            factor_block=state.dist_factors[mode].local_block_for(group[0]),
+            mode=mode,
+        )
         gathered = machine.all_gather_rows(solved_chunks, group)
         new_block = gathered[group[0]]
         new_blocks.append(new_block)
@@ -363,3 +392,19 @@ def parallel_mode_update(
 
     summed_mttkrp = np.concatenate(summed_blocks, axis=0)
     return gamma, summed_mttkrp
+
+
+def run_parallel_sweep(state: ParallelState, rule=None) -> np.ndarray:
+    """One full parallel sweep (all modes) and the last summed MTTKRP.
+
+    The parallel counterpart of :func:`repro.core.updates.sweep`: walks the
+    modes through :func:`parallel_mode_update` under ``rule`` (default exact
+    least squares) and returns the globally-summed padded ``M^(N-1)`` that
+    Eq. (3) needs for the residual.
+    """
+    last_summed: np.ndarray | None = None
+    for mode in range(state.order):
+        _, summed = parallel_mode_update(state, mode, rule=rule)
+        last_summed = summed
+    assert last_summed is not None
+    return last_summed

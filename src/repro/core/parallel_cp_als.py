@@ -24,8 +24,9 @@ import numpy as np
 
 from repro.comm.simulated import SimulatedMachine
 from repro.core.options import ParallelOptions, resolve_options
-from repro.core.parallel_common import parallel_mode_update, setup_parallel_state
-from repro.core.results import ParallelALSResult, SweepRecord
+from repro.core.parallel_common import run_parallel_sweep, setup_parallel_state
+from repro.core.results import ParallelALSResult, ResultBase, SweepRecord
+from repro.core.updates import make_update_rule
 from repro.distributed.dist_tensor import DistributedTensor
 from repro.distributed.sparse import DistSparseTensor
 from repro.grid.processor_grid import ProcessorGrid
@@ -52,6 +53,7 @@ def parallel_cp_als(
     max_cache_bytes: int | None = None,
     partitioner: str | None = None,
     partition_seed: int | np.random.Generator | None = None,
+    update: str | None = None,
     options: ParallelOptions | None = None,
 ) -> ParallelALSResult:
     """Distributed-memory CP-ALS (Algorithm 3) executed on the simulated machine.
@@ -77,6 +79,13 @@ def parallel_cp_als(
         ``True`` models the paper's distributed SPD solves, ``False`` the
         PLANC-style redundant sequential solve (used as the PLANC baseline in
         the Figure 3 benchmarks).
+    update:
+        Per-mode update rule applied to each rank's reduce-scattered chunk:
+        ``"least_squares"`` (default, Algorithm 3 exactly), ``"hals"`` or
+        ``"multiplicative"`` for parallel nonnegative CP.  Every rule is
+        row-separable, so the communication pattern — Reduce-Scatter, local
+        chunk update, All-Gather, Gram All-Reduce — is identical, and the
+        iterates match the sequential driver running the same rule.
     machine / params:
         The simulated machine (or its cost parameters) to run on; a fresh
         machine with KNL-like parameters is created when omitted.
@@ -98,13 +107,14 @@ def parallel_cp_als(
         ParallelOptions, options,
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "mttkrp": mttkrp,
          "seed": seed, "distributed_solve": distributed_solve,
-         "partitioner": partitioner,
+         "partitioner": partitioner, "update": update,
          "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
     )
     rank, n_sweeps, tol, mttkrp, seed = (
         opts.rank, opts.n_sweeps, opts.tol, opts.mttkrp, opts.seed,
     )
     distributed_solve, partitioner = opts.distributed_solve, opts.partitioner
+    rule = make_update_rule(opts.update)
     # keep an explicitly-passed ProcessorGrid instance as-is; the bundle only
     # carries its dims
     grid = grid if grid is not None else opts.grid
@@ -132,11 +142,7 @@ def parallel_cp_als(
     for sweep in range(n_sweeps):
         sweep_start = time.perf_counter()
         snapshots = machine.snapshot_costs()
-        last_summed = None
-        for mode in range(order):
-            _, summed = parallel_mode_update(state, mode)
-            last_summed = summed
-        assert last_summed is not None
+        last_summed = run_parallel_sweep(state, rule=rule)
         residual = residual_from_mttkrp(
             state.norm_t,
             last_summed,
@@ -157,7 +163,7 @@ def parallel_cp_als(
                 SweepRecord(
                     index=sweep,
                     sweep_type="als",
-                    fitness=1.0 - residual,
+                    fitness=ResultBase.fitness_from_residual(residual),
                     residual=residual,
                     elapsed_seconds=elapsed,
                     cumulative_seconds=cumulative,
@@ -174,7 +180,7 @@ def parallel_cp_als(
     total_elapsed = time.perf_counter() - run_start
     return ParallelALSResult(
         factors=state.global_factors(),
-        fitness=1.0 - residual,
+        fitness=ResultBase.fitness_from_residual(residual),
         residual=residual,
         n_sweeps=sweeps_run,
         converged=converged,
@@ -188,6 +194,7 @@ def parallel_cp_als(
             "mttkrp": mttkrp,
             "grid": tuple(state.grid.dims),
             "distributed_solve": distributed_solve,
+            "update": opts.update,
             "partitioner": getattr(
                 getattr(state.dist_tensor, "partition", None), "name", None
             ),

@@ -35,7 +35,7 @@ from repro.core.parallel_common import (
 )
 from repro.core.options import ParallelPPOptions, resolve_options
 from repro.core.pp_corrections import first_order_correction, pp_step_within_tolerance
-from repro.core.results import ParallelALSResult, SweepRecord
+from repro.core.results import ParallelALSResult, ResultBase, SweepRecord
 from repro.distributed.dist_factor import DistributedFactor
 from repro.distributed.dist_tensor import DistributedTensor
 from repro.grid.processor_grid import ProcessorGrid
@@ -162,6 +162,7 @@ def parallel_pp_cp_als(
     max_cache_bytes: int | None = None,
     partitioner: str | None = None,
     partition_seed: int | np.random.Generator | None = None,
+    update: str | None = None,
     options: ParallelPPOptions | None = None,
 ) -> ParallelALSResult:
     """Parallel PP-CP-ALS (Algorithm 4) on the simulated machine.
@@ -181,10 +182,17 @@ def parallel_pp_cp_als(
         ParallelPPOptions, options,
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "pp_tol": pp_tol,
          "mttkrp": mttkrp, "seed": seed, "distributed_solve": distributed_solve,
-         "partitioner": partitioner,
+         "partitioner": partitioner, "update": update,
          "max_pp_sweeps_per_phase": max_pp_sweeps_per_phase,
          "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
     )
+    if opts.update != "least_squares":
+        # the PP corrections linearize the *least-squares* update around the
+        # checkpoint; other rules have no perturbative expansion here
+        raise NotImplementedError(
+            "parallel_pp_cp_als supports only the least_squares update rule; "
+            "use parallel_cp_als(update=...) for parallel nonnegative CP"
+        )
     rank, n_sweeps, tol, pp_tol, mttkrp, seed = (
         opts.rank, opts.n_sweeps, opts.tol, opts.pp_tol, opts.mttkrp, opts.seed,
     )
@@ -234,7 +242,7 @@ def parallel_pp_cp_als(
                 SweepRecord(
                     index=total_sweeps - 1,
                     sweep_type=sweep_type,
-                    fitness=1.0 - residual,
+                    fitness=ResultBase.fitness_from_residual(residual),
                     residual=residual,
                     elapsed_seconds=elapsed,
                     cumulative_seconds=cumulative,
@@ -348,7 +356,7 @@ def parallel_pp_cp_als(
     total_elapsed = time.perf_counter() - run_start
     return ParallelALSResult(
         factors=state.global_factors(),
-        fitness=1.0 - residual,
+        fitness=ResultBase.fitness_from_residual(residual),
         residual=residual,
         n_sweeps=total_sweeps,
         converged=converged,

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.cp_als import run_regular_sweep
 from repro.core.initialization import prepare_als_inputs
-from repro.core.normal_equations import gamma_chain, gram_matrix, solve_normal_equations
+from repro.core.normal_equations import gamma_chain, gram_matrix
 from repro.core.pp_corrections import (
     delta_gram,
     first_order_correction,
@@ -32,7 +32,8 @@ from repro.core.pp_corrections import (
     second_order_correction,
 )
 from repro.core.options import PPOptions, resolve_options
-from repro.core.results import ALSResult, SweepRecord
+from repro.core.results import ALSResult, ResultBase, SweepRecord
+from repro.core.updates import make_update_rule
 from repro.machine.cost_tracker import CostTracker
 from repro.tensor.norms import residual_from_mttkrp
 from repro.trees.pp_operators import PairwiseOperators
@@ -47,7 +48,7 @@ def _record_sweep(records, index, sweep_type, residual, elapsed, cumulative, tra
         SweepRecord(
             index=index,
             sweep_type=sweep_type,
-            fitness=1.0 - residual,
+            fitness=ResultBase.fitness_from_residual(residual),
             residual=residual,
             elapsed_seconds=elapsed,
             cumulative_seconds=cumulative,
@@ -124,6 +125,9 @@ def pp_cp_als(
                              max_cache_bytes=max_cache_bytes)
     order = provider.order
     grams = [gram_matrix(f, tracker=tracker) for f in provider.factors]
+    # PP approximates the MTTKRP, not the update: the approximated sweeps run
+    # the same exact least-squares rule as the shared sweep kernel
+    rule = make_update_rule("least_squares")
 
     # Algorithm 2 line 2: dA^(i) <- A^(i), so the first iterations use exact sweeps.
     delta_factors = [f.copy() for f in provider.factors]
@@ -192,7 +196,9 @@ def pp_cp_als(
                     approx += second_order_correction(
                         mode, provider.factors[mode], grams, delta_grams, tracker=tracker
                     )
-                    updated = solve_normal_equations(gamma, approx, tracker=tracker)
+                    updated = rule.update_rows(mode, gamma, approx,
+                                               provider.factors[mode],
+                                               tracker=tracker)
                     provider.set_factor(mode, updated)
                     delta_factors[mode] = updated - checkpoint[mode]
                     delta_grams[mode] = delta_gram(updated, delta_factors[mode], tracker=tracker)
@@ -223,7 +229,7 @@ def pp_cp_als(
                                   elapsed, cumulative, tracker, before)
                 if callback is not None:
                     callback(total_sweeps - 1, [f.copy() for f in provider.factors],
-                             1.0 - residual)
+                             ResultBase.fitness_from_residual(residual))
                 if abs(previous_residual - residual) < tol:
                     # Converged inside the PP regime; the exact sweep below
                     # confirms it with an exact residual.
@@ -251,7 +257,8 @@ def pp_cp_als(
             _record_sweep(records, total_sweeps - 1, "als", residual, elapsed,
                           cumulative, tracker, before)
         if callback is not None:
-            callback(total_sweeps - 1, [f.copy() for f in provider.factors], 1.0 - residual)
+            callback(total_sweeps - 1, [f.copy() for f in provider.factors],
+                     ResultBase.fitness_from_residual(residual))
         if abs(previous_residual - residual) < tol:
             converged = True
             break
@@ -260,7 +267,7 @@ def pp_cp_als(
     total_elapsed = time.perf_counter() - run_start
     return ALSResult(
         factors=[f.copy() for f in provider.factors],
-        fitness=1.0 - residual,
+        fitness=ResultBase.fitness_from_residual(residual),
         residual=residual,
         n_sweeps=total_sweeps,
         converged=converged,

@@ -77,6 +77,30 @@ class ResultBase:
     n_sweeps: int
     sweeps: List[SweepRecord]
 
+    @staticmethod
+    def fitness_from_residual(residual: float) -> float:
+        """Fitness ``f = 1 - r`` with guarded edge cases — the one conversion
+        every driver uses.
+
+        A tiny negative residual (rounding noise at an exact or
+        better-than-exact fit, e.g. zero-residual initial factors) clamps to
+        fitness exactly ``1.0`` instead of leaking ``1 + eps``; a non-finite
+        residual maps to ``nan`` rather than propagating ``-inf`` arithmetic.
+
+        >>> ResultBase.fitness_from_residual(0.25)
+        0.75
+        >>> ResultBase.fitness_from_residual(-1e-16)
+        1.0
+        >>> ResultBase.fitness_from_residual(float("inf"))
+        nan
+        """
+        residual = float(residual)
+        if not np.isfinite(residual):
+            return float("nan")
+        if residual < 0.0:
+            return 1.0
+        return 1.0 - residual
+
     @property
     def cp(self) -> CPTensor:
         """The decomposition as a :class:`~repro.tensor.cp_format.CPTensor`."""

@@ -2,12 +2,16 @@
 
 A :class:`DecompositionRequest` is the one client-facing description of a
 decomposition: the tensor (dense ndarray or sparse
-:class:`~repro.sparse.CooTensor`), the algorithm (``"als"``, ``"pp"`` or
-``"multi_start"``), an :class:`~repro.core.options.ALSOptions`-family bundle
-for every solver setting, and an optional root seed.  Construction normalizes
-the request — a bare ``rank`` becomes the algorithm's default options bundle,
-a seed carried inside the bundle is hoisted into :attr:`DecompositionRequest.seed`
-— so one canonical form reaches the queue, the workers and the artifact key.
+:class:`~repro.sparse.CooTensor`), the algorithm (any name in the sequential
+registry of :mod:`repro.core.algorithms` — ``"als"``, ``"pp"``, ``"nncp"``,
+``"masked"`` — or ``"multi_start"``), an
+:class:`~repro.core.options.ALSOptions`-family bundle for every solver
+setting, an optional observation ``mask`` for the masked family, and an
+optional root seed.  Construction normalizes the request — a bare ``rank``
+becomes the algorithm's default options bundle (looked up in the registry),
+a seed carried inside the bundle is hoisted into
+:attr:`DecompositionRequest.seed` — so one canonical form reaches the queue,
+the workers and the artifact key.
 
 :func:`tensor_fingerprint` hashes the tensor *content* (shape, dtype and the
 nonzero pattern/values), so two structurally identical submissions share an
@@ -25,7 +29,9 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.options import ALSOptions, ParallelOptions, PPOptions
+from repro.core.algorithms import available_algorithms, get_algorithm
+from repro.core.masked_cp_als import normalize_mask
+from repro.core.options import ALSOptions, MaskedOptions, ParallelOptions
 from repro.sparse.coo import CooTensor
 from repro.utils.validation import check_positive_int
 
@@ -37,7 +43,11 @@ __all__ = [
     "tensor_fingerprint",
 ]
 
-_ALGORITHMS = ("als", "pp", "multi_start")
+
+def _service_algorithms() -> tuple[str, ...]:
+    """Names the service accepts: every registered sequential algorithm plus
+    the ``multi_start`` meta-driver that batches any of them."""
+    return (*available_algorithms(), "multi_start")
 
 
 class JobState(enum.Enum):
@@ -94,18 +104,27 @@ class DecompositionRequest:
     rank:
         CP rank; required unless carried by ``options``.
     algorithm:
-        ``"als"`` (:func:`~repro.core.cp_als.cp_als`), ``"pp"``
-        (:func:`~repro.core.pp_cp_als.pp_cp_als`) or ``"multi_start"``
+        Any name in the sequential-algorithm registry
+        (:func:`repro.core.algorithms.available_algorithms` — ``"als"``,
+        ``"pp"``, ``"nncp"``, ``"masked"``) or ``"multi_start"``
         (:func:`~repro.core.multi_start.multi_start`; the inner solver follows
         the options bundle type).
     options:
-        An :class:`~repro.core.options.ALSOptions` /
-        :class:`~repro.core.options.PPOptions` bundle.  When omitted, the
-        algorithm's default bundle is built from ``rank``.  A ``seed`` inside
-        the bundle is hoisted into :attr:`seed` so the request has exactly one
+        An :class:`~repro.core.options.ALSOptions`-family bundle.  When
+        omitted, the algorithm's registered default bundle class is built
+        from ``rank`` (e.g. ``"nncp"`` gets
+        :class:`~repro.core.options.NNOptions`).  A ``seed`` inside the
+        bundle is hoisted into :attr:`seed` so the request has exactly one
         seed channel.
     n_starts:
         Number of random starts (only meaningful for ``"multi_start"``).
+    mask:
+        Observed-entry pattern for the masked family (``algorithm="masked"``
+        or ``"multi_start"`` with a :class:`~repro.core.options.MaskedOptions`
+        bundle): a boolean/0-1 ndarray or a :class:`~repro.sparse.CooTensor`
+        whose stored pattern marks the observed entries.  Required for dense
+        masked tensors; for sparse masked tensors ``None`` means "the stored
+        nonzeros are the observations".  Rejected for every other algorithm.
     seed:
         Root seed.  ``None`` lets the service derive a per-job seed from its
         own root :class:`numpy.random.SeedSequence`; the artifact key still
@@ -120,6 +139,7 @@ class DecompositionRequest:
     options: ALSOptions | None = None
     n_starts: int = 8
     seed: int | None = None
+    mask: Any = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.tensor, (np.ndarray, CooTensor)):
@@ -127,20 +147,25 @@ class DecompositionRequest:
                 "tensor must be a numpy ndarray or CooTensor, got "
                 f"{type(self.tensor).__name__}"
             )
-        if self.algorithm not in _ALGORITHMS:
+        algorithms = _service_algorithms()
+        if self.algorithm not in algorithms:
             raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; available: {sorted(_ALGORITHMS)}"
+                f"unknown algorithm {self.algorithm!r}; available: {sorted(algorithms)}"
             )
         self.n_starts = check_positive_int(self.n_starts, "n_starts")
         if self.options is None:
             if self.rank is None:
                 raise TypeError("rank is required (pass rank= or an options= bundle)")
-            cls = PPOptions if self.algorithm == "pp" else ALSOptions
+            cls = (
+                ALSOptions
+                if self.algorithm == "multi_start"
+                else get_algorithm(self.algorithm).options_cls
+            )
             self.options = cls.from_kwargs(rank=self.rank)
         elif isinstance(self.options, ParallelOptions):
             raise TypeError(
-                "the service runs the sequential solvers; pass ALSOptions or "
-                "PPOptions, not a parallel bundle"
+                "the service runs the sequential solvers; pass an "
+                "ALSOptions-family bundle, not a parallel bundle"
             )
         elif not isinstance(self.options, ALSOptions):
             raise TypeError(
@@ -151,8 +176,15 @@ class DecompositionRequest:
                 raise ValueError(
                     f"rank={self.rank} conflicts with options.rank={self.options.rank}"
                 )
-            if self.algorithm == "pp" and not isinstance(self.options, PPOptions):
-                raise TypeError('algorithm "pp" requires a PPOptions bundle')
+            if self.algorithm != "multi_start":
+                spec = get_algorithm(self.algorithm)
+                if not isinstance(self.options, spec.options_cls):
+                    raise TypeError(
+                        f"algorithm {self.algorithm!r} requires a "
+                        f"{spec.options_cls.__name__} bundle, got "
+                        f"{type(self.options).__name__}"
+                    )
+        self._validate_mask()
         # one seed channel: hoist a bundle-borne seed onto the request
         if self.options.seed is not None:
             if self.seed is not None and self.seed != self.options.seed:
@@ -163,18 +195,72 @@ class DecompositionRequest:
             self.options = dataclasses.replace(self.options, seed=None)
         self.rank = self.options.rank
 
+    @property
+    def masked(self) -> bool:
+        """Whether the request runs the masked family (directly or batched)."""
+        return self.algorithm == "masked" or (
+            self.algorithm == "multi_start" and isinstance(self.options, MaskedOptions)
+        )
+
+    def _validate_mask(self) -> None:
+        if not self.masked:
+            if self.mask is not None:
+                raise TypeError(
+                    f"algorithm {self.algorithm!r} does not accept a mask; "
+                    "masked decomposition runs under algorithm='masked' (or "
+                    "multi_start with a MaskedOptions bundle)"
+                )
+            return
+        if self.mask is None:
+            if not isinstance(self.tensor, CooTensor):
+                raise ValueError(
+                    "dense masked decomposition requires an explicit mask "
+                    "(for sparse tensors the stored nonzeros stand in)"
+                )
+            return
+        if not isinstance(self.mask, (np.ndarray, CooTensor)):
+            raise TypeError(
+                "mask must be a numpy ndarray or CooTensor, got "
+                f"{type(self.mask).__name__}"
+            )
+        tensor_shape = tuple(self.tensor.shape)
+        mask_shape = tuple(self.mask.shape)
+        if mask_shape != tensor_shape:
+            raise ValueError(
+                f"mask shape {mask_shape} does not match tensor shape {tensor_shape}"
+            )
+
     def fingerprint(self) -> str:
         """Content hash of the request's tensor (see :func:`tensor_fingerprint`)."""
         return tensor_fingerprint(self.tensor)
+
+    def mask_fingerprint(self) -> str | None:
+        """Content hash of the canonical observed-entry pattern.
+
+        ``None`` for non-masked requests.  Masked requests hash the
+        *normalized* index set (:func:`repro.core.masked_cp_als.normalize_mask`),
+        so a boolean array and a :class:`~repro.sparse.CooTensor` with the
+        same pattern — or a sparse tensor with ``mask=None`` and the same
+        tensor passed with its own pattern as an explicit mask — share a key.
+        """
+        if not self.masked:
+            return None
+        indices = normalize_mask(self.tensor, self.mask)
+        digest = hashlib.sha256()
+        digest.update(b"mask")
+        digest.update(repr(tuple(self.tensor.shape)).encode())
+        digest.update(np.ascontiguousarray(indices, dtype=np.int64).tobytes())
+        return digest.hexdigest()
 
 
 def artifact_key(request: DecompositionRequest) -> tuple:
     """Canonical artifact-cache key of a request.
 
     Two requests collide exactly when they describe the same computation:
-    same tensor content, algorithm, options bundle, start count and client
+    same tensor content, algorithm, options bundle, start count, client
     seed (``None`` counts as a value, so unseeded resubmissions hit the
-    cache of the first unseeded run).
+    cache of the first unseeded run) and — for the masked family — the same
+    canonical observed-entry pattern.
     """
     return (
         request.fingerprint(),
@@ -182,6 +268,7 @@ def artifact_key(request: DecompositionRequest) -> tuple:
         request.options.cache_key(),
         request.n_starts if request.algorithm == "multi_start" else 1,
         request.seed,
+        request.mask_fingerprint(),
     )
 
 

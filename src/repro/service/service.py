@@ -22,7 +22,8 @@ Request flow::
     submit(request)
         -> artifact cache probe  (hit: job is DONE immediately)
         -> bounded asyncio queue (backpressure when full)
-        -> worker task -> thread pool -> cp_als / pp_cp_als / multi_start
+        -> worker task -> thread pool -> registered driver (als / pp / nncp
+           / masked, via repro.core.algorithms) or multi_start
              sweep callback -> ProgressEvent stream + cancellation check
         -> post_complete_hook -> artifact cache
 """
@@ -37,9 +38,8 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.contract import default_engine
-from repro.core.cp_als import cp_als
+from repro.core.algorithms import get_algorithm
 from repro.core.multi_start import multi_start
-from repro.core.pp_cp_als import pp_cp_als
 from repro.service.artifacts import ArtifactCache
 from repro.service.models import DecompositionRequest, Job, JobState, artifact_key
 from repro.service.progress import JobCancelled, ProgressEvent, ProgressStream
@@ -321,12 +321,17 @@ class DecompositionService(BaseService):
         extra: dict = {"callback": callback}
         if self.max_cache_bytes is not None:
             extra["max_cache_bytes"] = max(self.max_cache_bytes // self.n_workers, 1)
-        if request.algorithm == "als":
-            return cp_als(request.tensor, options=options, **extra)
-        if request.algorithm == "pp":
-            return pp_cp_als(request.tensor, options=options, **extra)
-        return multi_start(
-            request.tensor, n_starts=request.n_starts, options=options, **extra
+        if request.mask is not None:
+            extra["mask"] = request.mask
+        if request.algorithm == "multi_start":
+            # the inner solver is inferred from the options bundle type via
+            # the algorithm registry (NNOptions -> nncp, MaskedOptions ->
+            # masked, PPOptions -> pp, plain ALSOptions -> als)
+            return multi_start(
+                request.tensor, n_starts=request.n_starts, options=options, **extra
+            )
+        return get_algorithm(request.algorithm).driver(
+            request.tensor, options=options, **extra
         )
 
     def _finish(self, job: Job, state: JobState) -> None:

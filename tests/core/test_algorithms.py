@@ -1,0 +1,82 @@
+"""Tests of the sequential-algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms import (
+    AlgorithmSpec,
+    algorithm_for_options,
+    available_algorithms,
+    get_algorithm,
+    options_class_for,
+    register_algorithm,
+)
+from repro.core.cp_als import cp_als
+from repro.core.masked_cp_als import masked_cp_als
+from repro.core.nn_cp_als import nn_cp_als
+from repro.core.options import ALSOptions, MaskedOptions, NNOptions, PPOptions
+from repro.core.pp_cp_als import pp_cp_als
+
+
+def test_builtin_algorithms_registered():
+    assert available_algorithms() == ["als", "pp", "nncp", "masked"]
+
+
+def test_specs_point_at_the_drivers():
+    assert get_algorithm("als").driver is cp_als
+    assert get_algorithm("pp").driver is pp_cp_als
+    assert get_algorithm("nncp").driver is nn_cp_als
+    assert get_algorithm("masked").driver is masked_cp_als
+
+
+def test_only_masked_accepts_mask():
+    assert [name for name in available_algorithms()
+            if get_algorithm(name).accepts_mask] == ["masked"]
+
+
+def test_options_class_for():
+    assert options_class_for("als") is ALSOptions
+    assert options_class_for("pp") is PPOptions
+    assert options_class_for("nncp") is NNOptions
+    assert options_class_for("masked") is MaskedOptions
+
+
+def test_unknown_name_raises_value_error():
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        get_algorithm("tucker")
+
+
+def test_algorithm_for_options_exact_match():
+    assert algorithm_for_options(ALSOptions(rank=2)).name == "als"
+    assert algorithm_for_options(PPOptions(rank=2)).name == "pp"
+    assert algorithm_for_options(NNOptions(rank=2)).name == "nncp"
+    assert algorithm_for_options(MaskedOptions(rank=2)).name == "masked"
+
+
+def test_algorithm_for_options_most_derived_subclass():
+    class TunedNNOptions(NNOptions):
+        pass
+
+    # no exact registration: falls back to the most-derived registered base
+    assert algorithm_for_options(TunedNNOptions(rank=2)).name == "nncp"
+
+
+def test_algorithm_for_options_rejects_foreign_type():
+    with pytest.raises(TypeError):
+        algorithm_for_options(object())
+
+
+def test_register_replaces_and_restores():
+    original = get_algorithm("als")
+    try:
+        register_algorithm(AlgorithmSpec("als", pp_cp_als, ALSOptions))
+        assert get_algorithm("als").driver is pp_cp_als
+    finally:
+        register_algorithm(original)
+    assert get_algorithm("als").driver is cp_als
+
+
+def test_register_rejects_non_spec():
+    with pytest.raises(TypeError, match="AlgorithmSpec"):
+        register_algorithm(("als", cp_als, ALSOptions))

@@ -123,3 +123,37 @@ def test_start_seeds_deterministic():
     assert [s.entropy for s in a] == [s.entropy for s in b]
     assert [s.spawn_key for s in a] == [s.spawn_key for s in b]
     assert len({s.spawn_key for s in a}) == 4
+
+
+def test_nncp_algorithm_keeps_factors_nonnegative(tensor):
+    nonneg = np.abs(tensor)
+    result = multi_start(nonneg, RANK, n_starts=2, algorithm="nncp", seed=4,
+                         n_sweeps=6, tol=0.0)
+    assert result.algorithm == "nncp"
+    for start in result.results:
+        assert all((f >= 0).all() for f in start.factors)
+
+
+def test_algorithm_inferred_from_options_bundle(tensor):
+    from repro.core.options import NNOptions
+
+    result = multi_start(np.abs(tensor), n_starts=2,
+                         options=NNOptions(rank=RANK, n_sweeps=5, tol=0.0,
+                                           seed=3))
+    assert result.algorithm == "nncp"
+
+
+def test_masked_algorithm_accepts_mask(tensor):
+    from repro.core.masked_cp_als import MaskedALSResult
+
+    mask = np.random.default_rng(0).random(tensor.shape) < 0.5
+    result = multi_start(tensor, RANK, n_starts=2, algorithm="masked",
+                         mask=mask, seed=5, n_sweeps=5, tol=0.0)
+    assert isinstance(result.best, MaskedALSResult)
+    assert result.best.n_observed == int(mask.sum())
+
+
+def test_mask_rejected_for_non_masked_algorithms(tensor):
+    mask = np.ones(tensor.shape, dtype=bool)
+    with pytest.raises(TypeError, match="does not accept a mask"):
+        multi_start(tensor, RANK, n_starts=2, algorithm="als", mask=mask)
