@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.cp_als import cp_als
 from repro.core.options import ALSOptions
 from repro.data.sparse_synthetic import sparse_low_rank_tensor
+from repro.sparse.kernels import get_kernel
 from repro.grid.balance import make_partition
 from repro.grid.processor_grid import ProcessorGrid
 from repro.machine.cost_tracker import CostTracker
@@ -82,6 +83,27 @@ def run_sweeps(config: dict) -> dict:
         info[f"wall_s_{engine}"] = wall
         info[f"seconds_per_sweep_{engine}"] = wall / result.n_sweeps
         info[f"fitness_{engine}"] = result.fitness
+
+    # compiled-kernel ratio: the dt run again through kernel="numpy" (the
+    # explicit pure-NumPy backend — same path as the default) and through
+    # kernel="auto" (@njit fused loops when numba is installed, the NumPy
+    # fallback otherwise).  Wall-clock only, so it lives in the non-gated
+    # info section; the flop gate above is kernel-independent by design.
+    kernel = get_kernel("auto")
+    kernel_walls = {}
+    for kernel_name in ("numpy", "auto"):
+        options = ALSOptions(rank=config["rank"], n_sweeps=config["n_sweeps"],
+                             tol=0.0, mttkrp="dt", kernel=kernel_name, seed=0)
+        cp_als(tensor, options=options)  # warmup: JIT + structural caches
+        start = time.perf_counter()
+        cp_als(tensor, options=options)
+        kernel_walls[kernel_name] = time.perf_counter() - start
+    info["kernel_backend"] = kernel.name
+    info["wall_s_dt_kernel_numpy"] = kernel_walls["numpy"]
+    info["wall_s_dt_kernel_compiled"] = kernel_walls["auto"]
+    info["wall_ratio_compiled_vs_numpy_dt"] = (
+        kernel_walls["auto"] / kernel_walls["numpy"]
+    )
 
     checkpoint_flops, checkpoint_wall = pp_checkpoint_flops(
         tensor, config["rank"]

@@ -118,6 +118,7 @@ def setup_parallel_state(
     max_cache_bytes: int | None = None,
     partitioner: str = "nnz-balanced",
     partition_seed: int | np.random.Generator | None = None,
+    kernel: str | None = None,
 ) -> ParallelState:
     """Distribute the tensor and factors and build the per-rank MTTKRP engines.
 
@@ -186,6 +187,7 @@ def setup_parallel_state(
             local_factors,
             tracker=machine.tracker(proc),
             max_cache_bytes=max_cache_bytes,
+            kernel=kernel,
         )
 
     state = ParallelState(

@@ -54,6 +54,7 @@ def parallel_cp_als(
     partitioner: str | None = None,
     partition_seed: int | np.random.Generator | None = None,
     update: str | None = None,
+    kernel: str | None = None,
     options: ParallelOptions | None = None,
 ) -> ParallelALSResult:
     """Distributed-memory CP-ALS (Algorithm 3) executed on the simulated machine.
@@ -107,7 +108,7 @@ def parallel_cp_als(
         ParallelOptions, options,
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "mttkrp": mttkrp,
          "seed": seed, "distributed_solve": distributed_solve,
-         "partitioner": partitioner, "update": update,
+         "partitioner": partitioner, "update": update, "kernel": kernel,
          "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
     )
     rank, n_sweeps, tol, mttkrp, seed = (
@@ -126,6 +127,7 @@ def parallel_cp_als(
         distributed_solve=distributed_solve,
         max_cache_bytes=max_cache_bytes,
         partitioner=partitioner, partition_seed=partition_seed,
+        kernel=opts.kernel,
     )
     machine = state.machine
     order = state.order

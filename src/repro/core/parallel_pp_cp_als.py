@@ -126,10 +126,14 @@ def _pp_contributions(
         for other in range(order):
             if other == mode:
                 continue
-            local += first_order_correction(
+            # fused: the correction accumulates straight into this rank's
+            # Mtilde block (no per-pair temporary)
+            first_order_correction(
                 ops.pair_operator(mode, other),
                 delta_factors[other].local_block_for(proc),
                 tracker=tracker,
+                out=local, accumulate=True,
+                kernel=getattr(state.providers[proc], "kernel", None),
             )
         # this rank's share of V^(mode): rows of its factor block times the
         # accumulator, divided by the slice size so the Reduce-Scatter sum
@@ -163,6 +167,7 @@ def parallel_pp_cp_als(
     partitioner: str | None = None,
     partition_seed: int | np.random.Generator | None = None,
     update: str | None = None,
+    kernel: str | None = None,
     options: ParallelPPOptions | None = None,
 ) -> ParallelALSResult:
     """Parallel PP-CP-ALS (Algorithm 4) on the simulated machine.
@@ -182,7 +187,7 @@ def parallel_pp_cp_als(
         ParallelPPOptions, options,
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "pp_tol": pp_tol,
          "mttkrp": mttkrp, "seed": seed, "distributed_solve": distributed_solve,
-         "partitioner": partitioner, "update": update,
+         "partitioner": partitioner, "update": update, "kernel": kernel,
          "max_pp_sweeps_per_phase": max_pp_sweeps_per_phase,
          "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
     )
@@ -207,6 +212,7 @@ def parallel_pp_cp_als(
         distributed_solve=distributed_solve,
         max_cache_bytes=max_cache_bytes,
         partitioner=partitioner, partition_seed=partition_seed,
+        kernel=opts.kernel,
     )
     machine = state.machine
     order = state.order

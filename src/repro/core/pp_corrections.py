@@ -23,6 +23,7 @@ from repro.trees.sparse_pp import OrientedPairOperator, SemiSparsePairOperator
 __all__ = [
     "delta_gram",
     "first_order_correction",
+    "fused_approx_update",
     "second_order_correction",
     "pp_step_within_tolerance",
 ]
@@ -55,6 +56,8 @@ def first_order_correction(
     category: str = "mttv",
     engine=None,
     out: np.ndarray | None = None,
+    accumulate: bool = False,
+    kernel=None,
 ) -> np.ndarray:
     """``U^(n,i)(x, k) = sum_y M_p^(n,i)(x, y, k) dA^(i)(y, k)`` (Eq. 6).
 
@@ -66,6 +69,11 @@ def first_order_correction(
     :class:`~repro.trees.sparse_pp.OrientedPairOperator`; the contraction then
     runs as a fiber-run segmented reduction over its nonzero fibers without
     densifying the operator.
+
+    ``accumulate=True`` adds the correction into the caller's ``out`` buffer
+    instead of overwriting it — the fused approximated step
+    (:func:`fused_approx_update`) assembles Eq. (5) this way.  A compiled
+    ``kernel`` collapses the semi-sparse case into one scatter loop.
     """
     if isinstance(pair_operator, SemiSparsePairOperator):
         # a raw operator's orientation is ambiguous whenever s_i == s_j (no
@@ -76,10 +84,12 @@ def first_order_correction(
             "PairwiseOperators.pair_operator(mode, other) or "
             "SemiSparsePairOperator.oriented(lead_axis)), not the raw operator"
         )
+    if accumulate and out is None:
+        raise ValueError("accumulate=True requires an out= buffer")
     if isinstance(pair_operator, OrientedPairOperator):
         return pair_operator.contract_delta(
             np.asarray(delta_factor), tracker=tracker, category=category,
-            engine=engine, out=out,
+            engine=engine, out=out, accumulate=accumulate, kernel=kernel,
         )
     pair_operator = np.asarray(pair_operator)
     delta_factor = np.asarray(delta_factor)
@@ -92,13 +102,67 @@ def first_order_correction(
         )
     eng = resolve_engine(engine)
     start = time.perf_counter()
-    out = eng.contract("xyk,yk->xk", pair_operator, delta_factor, out=out)
+    if accumulate:
+        out += eng.contract("xyk,yk->xk", pair_operator, delta_factor)
+    else:
+        out = eng.contract("xyk,yk->xk", pair_operator, delta_factor, out=out)
     elapsed = time.perf_counter() - start
     if tracker is not None:
         tracker.add_flops(category, 2 * pair_operator.size)
         tracker.add_vertical_words(pair_operator.size + out.size)
         tracker.add_seconds(category, elapsed)
     return out
+
+
+def fused_approx_update(
+    operators,
+    mode: int,
+    factor: np.ndarray,
+    delta_factors: Sequence[np.ndarray],
+    grams: Sequence[np.ndarray],
+    delta_grams: Sequence[np.ndarray],
+    gamma: np.ndarray,
+    rule,
+    tracker=None,
+    engine=None,
+    out: np.ndarray | None = None,
+    kernel=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One fused PP approximated step for ``mode``: assemble Eq. (5) and solve.
+
+    The approximated MTTKRP ``Mtilde^(mode)`` is built in a single workspace —
+    the checkpoint MTTKRP ``M_p^(mode)`` is copied in, each first-order
+    correction ``U^(mode,i)`` (Eq. 6) is accumulated *in place* (no per-pair
+    temporary array), the second-order correction ``V^(mode)`` (Eq. 7) is
+    added — and the mode's normal equations are solved immediately through
+    ``rule.update_rows`` against ``gamma``.  Pass a preallocated ``out``
+    (shape ``(s_mode, R)``) to reuse the workspace across sweeps.
+
+    With a compiled ``kernel`` the semi-sparse corrections each run as one
+    fused scatter loop
+    (:meth:`~repro.sparse.kernels.KernelBackend.pair_accumulate`).
+
+    Returns ``(updated_factor, mtilde)``; ``mtilde`` aliases ``out`` when one
+    was given.  With the default ``kernel=None`` the assembly performs exactly
+    the additions of the unfused spelling in the same order, so iterates are
+    bit-identical.
+    """
+    single = operators.single(mode)
+    if out is None:
+        out = np.empty_like(single)
+    np.copyto(out, single)
+    for other in range(len(delta_factors)):
+        if other == mode:
+            continue
+        first_order_correction(
+            operators.pair_operator(mode, other), delta_factors[other],
+            tracker=tracker, engine=engine, out=out, accumulate=True,
+            kernel=kernel,
+        )
+    out += second_order_correction(mode, factor, grams, delta_grams,
+                                   tracker=tracker, engine=engine)
+    updated = rule.update_rows(mode, gamma, out, factor, tracker=tracker)
+    return updated, out
 
 
 def second_order_correction(

@@ -27,9 +27,8 @@ from repro.core.initialization import prepare_als_inputs
 from repro.core.normal_equations import gamma_chain, gram_matrix
 from repro.core.pp_corrections import (
     delta_gram,
-    first_order_correction,
+    fused_approx_update,
     pp_step_within_tolerance,
-    second_order_correction,
 )
 from repro.core.options import PPOptions, resolve_options
 from repro.core.results import ALSResult, ResultBase, SweepRecord
@@ -73,6 +72,7 @@ def pp_cp_als(
     max_pp_sweeps_per_phase: int | None = None,
     max_cache_bytes: int | None = None,
     dtype: np.dtype | str | None = None,
+    kernel: str | None = None,
     options: PPOptions | None = None,
 ) -> ALSResult:
     """CP decomposition via pairwise-perturbation ALS (Algorithm 2).
@@ -100,6 +100,11 @@ def pp_cp_als(
     max_pp_sweeps_per_phase:
         Safety bound on consecutive approximated sweeps within one PP phase
         (default 200).
+    kernel:
+        Sparse kernel backend (as in :func:`~repro.core.cp_als.cp_als`); the
+        ``*_compiled`` engine names imply ``kernel="numba"``.  A compiled
+        kernel additionally runs each approximated sweep's first-order
+        corrections as fused scatter loops.
     options:
         A :class:`~repro.core.options.PPOptions` bundle carrying the settings
         above as one object; mutually exclusive with the legacy keywords
@@ -108,7 +113,7 @@ def pp_cp_als(
     opts = resolve_options(
         PPOptions, options,
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "pp_tol": pp_tol,
-         "mttkrp": mttkrp, "seed": seed,
+         "mttkrp": mttkrp, "seed": seed, "kernel": kernel,
          "max_pp_sweeps_per_phase": max_pp_sweeps_per_phase},
     )
     rank, n_sweeps, tol, pp_tol, mttkrp, seed, max_pp_sweeps_per_phase = (
@@ -122,7 +127,12 @@ def pp_cp_als(
     )
 
     provider = make_provider(mttkrp, tensor, factors, tracker=tracker,
-                             max_cache_bytes=max_cache_bytes)
+                             max_cache_bytes=max_cache_bytes,
+                             kernel=opts.kernel)
+    # the provider resolved the kernel name (including any *_compiled engine
+    # suffix and the numba-missing fallback); the fused approximated sweeps
+    # below use the same backend object
+    kernel_obj = getattr(provider, "kernel", None)
     order = provider.order
     grams = [gram_matrix(f, tracker=tracker) for f in provider.factors]
     # PP approximates the MTTKRP, not the update: the approximated sweeps run
@@ -138,6 +148,8 @@ def pp_cp_als(
     converged = False
     cumulative = 0.0
     total_sweeps = 0
+    # per-mode Mtilde workspaces, reused across every approximated sweep
+    approx_workspaces: dict[int, np.ndarray] = {}
     run_start = time.perf_counter()
 
     def _sweeps_left() -> bool:
@@ -184,21 +196,14 @@ def pp_cp_als(
                 ]
                 for mode in range(order):
                     gamma = gamma_chain(grams, mode, tracker=tracker)
-                    approx = operators.single(mode).copy()
-                    for other in range(order):
-                        if other == mode:
-                            continue
-                        approx += first_order_correction(
-                            operators.pair_operator(mode, other),
-                            delta_factors[other],
-                            tracker=tracker,
-                        )
-                    approx += second_order_correction(
-                        mode, provider.factors[mode], grams, delta_grams, tracker=tracker
+                    updated, approx = fused_approx_update(
+                        operators, mode, provider.factors[mode],
+                        delta_factors, grams, delta_grams, gamma, rule,
+                        tracker=tracker,
+                        out=approx_workspaces.get(mode),
+                        kernel=kernel_obj,
                     )
-                    updated = rule.update_rows(mode, gamma, approx,
-                                               provider.factors[mode],
-                                               tracker=tracker)
+                    approx_workspaces[mode] = approx
                     provider.set_factor(mode, updated)
                     delta_factors[mode] = updated - checkpoint[mode]
                     delta_grams[mode] = delta_gram(updated, delta_factors[mode], tracker=tracker)
@@ -280,6 +285,7 @@ def pp_cp_als(
             "tol": tol,
             "pp_tol": pp_tol,
             "mttkrp": mttkrp,
+            "kernel": opts.kernel,
             "dtype": str(tensor.dtype),
         },
     )

@@ -291,6 +291,10 @@ class Job:
     cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
     #: full progress-event history (replayed to late stream subscribers)
     events: list = field(default_factory=list, repr=False)
+    #: progress events that could not be delivered because the service's event
+    #: loop was already closed (shutdown racing a worker thread); a nonzero
+    #: count means :attr:`events` is incomplete, not that the run misbehaved
+    dropped_events: int = 0
 
     @property
     def done(self) -> bool:

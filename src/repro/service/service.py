@@ -352,4 +352,7 @@ class DecompositionService(BaseService):
         try:
             self._loop.call_soon_threadsafe(self._publish, job, event)
         except RuntimeError:
-            pass  # loop already closed (service shutting down mid-run)
+            # loop already closed (service shutting down mid-run): the event
+            # cannot be delivered, but losing it silently made the history
+            # look complete — record the loss on the job instead
+            job.dropped_events += 1

@@ -18,6 +18,14 @@ from repro.sparse.csf import (
     reset_csf_cache_stats,
     segment_reduce,
 )
+from repro.sparse.kernels import (
+    KernelBackend,
+    NumpyKernel,
+    available_kernels,
+    get_kernel,
+    normalize_kernel_name,
+    numba_available,
+)
 from repro.sparse.mttkrp import DEFAULT_BLOCK_SIZE, sparse_mttkrp, sparse_partial_mttkrp
 
 __all__ = [
@@ -25,8 +33,14 @@ __all__ = [
     "CsfLevel",
     "CsfTensor",
     "FiberGrouping",
+    "KernelBackend",
+    "NumpyKernel",
+    "available_kernels",
     "csf_cache_stats",
     "fiber_grouping",
+    "get_kernel",
+    "normalize_kernel_name",
+    "numba_available",
     "reset_csf_cache_stats",
     "segment_reduce",
     "sparse_mttkrp",

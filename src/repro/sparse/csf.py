@@ -73,13 +73,27 @@ def segment_reduce(block: np.ndarray, starts: np.ndarray) -> np.ndarray:
     segmented reduction at the heart of every CSF contraction — unlike a
     scatter-add there are no repeated output indices, so it is a single
     ``np.add.reduceat`` sweep.
+
+    The result must be treated as **read-only**: when every run is a single
+    row the reduction is the identity and a non-writeable view of ``block``
+    is returned instead of a copy (callers that need to mutate the result
+    must copy it explicitly).  A nonempty ``block`` with empty ``starts`` is
+    a contract violation — it would silently drop every row — and raises.
     """
     n_rows = block.shape[0]
     n_runs = starts.shape[0]
     if n_runs == 0:
+        if n_rows:
+            raise ValueError(
+                f"segment_reduce: empty starts for a block of {n_rows} rows; "
+                "a nonempty block forms at least one run (starts must begin "
+                "with 0)"
+            )
         return np.zeros((0,) + block.shape[1:], dtype=block.dtype)
-    if n_runs == n_rows:  # every run is a single row
-        return block
+    if n_runs == n_rows:  # every run is a single row: identity, aliased view
+        view = block[:]
+        view.flags.writeable = False
+        return view
     return np.add.reduceat(block, starts, axis=0)
 
 
@@ -108,10 +122,16 @@ def _sort_perm(indices: np.ndarray, key_modes: Sequence[int]) -> np.ndarray | No
     return np.lexsort(tuple(indices[:, m] for m in reversed(key_modes)))
 
 
-def _run_starts(changed: np.ndarray) -> np.ndarray:
-    """Offsets of runs given the ``rows[i] != rows[i+1]`` change mask."""
-    if changed.shape[0] == 0:  # 0 or 1 rows
-        return np.zeros(0, dtype=np.int64)
+def _run_starts(changed: np.ndarray, n_rows: int) -> np.ndarray:
+    """Offsets of runs given the ``rows[i] != rows[i+1]`` change mask.
+
+    ``changed`` has ``n_rows - 1`` entries (empty for 0 or 1 rows); a
+    nonempty block always yields at least the run starting at offset 0, so a
+    single row maps to ``[0]`` — never to an empty offset array, which
+    :func:`segment_reduce` would reject (it used to silently drop the run).
+    """
+    if n_rows <= 1:
+        return np.zeros(min(n_rows, 1), dtype=np.int64)
     return np.concatenate(
         (np.zeros(1, dtype=np.int64), np.flatnonzero(changed).astype(np.int64) + 1)
     )
@@ -130,7 +150,7 @@ def run_starts(columns: Sequence[np.ndarray], n_rows: int) -> np.ndarray:
     changed = np.zeros(n_rows - 1, dtype=bool)
     for col in columns:
         np.logical_or(changed, col[1:] != col[:-1], out=changed)
-    return _run_starts(changed)
+    return _run_starts(changed, n_rows)
 
 
 @dataclass(frozen=True)
@@ -185,8 +205,7 @@ class CsfTensor:
         starts: list[np.ndarray] = []
         for d in range(ndim):
             np.logical_or(changed, cols[d][1:] != cols[d][:-1], out=changed)
-            starts.append(_run_starts(changed) if nnz > 1
-                          else np.zeros(min(nnz, 1), dtype=np.int64))
+            starts.append(_run_starts(changed, nnz))
         self._starts = starts
 
         levels: list[CsfLevel] = []

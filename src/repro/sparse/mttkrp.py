@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.contract import resolve_engine
 from repro.sparse.coo import CooTensor
+from repro.sparse.kernels import KernelBackend, get_kernel
 from repro.utils.validation import check_factor_matrices, check_mode
 
 __all__ = ["sparse_mttkrp", "sparse_partial_mttkrp", "DEFAULT_BLOCK_SIZE"]
@@ -100,6 +101,7 @@ def sparse_mttkrp(
     block_size: int = DEFAULT_BLOCK_SIZE,
     out: np.ndarray | None = None,
     order_perm: np.ndarray | None = None,
+    kernel: str | KernelBackend | None = None,
 ) -> np.ndarray:
     """Sparse MTTKRP ``M^(mode)`` in ``O(nnz * R * N)`` work.
 
@@ -122,6 +124,11 @@ def sparse_mttkrp(
         modes passing the (pattern-only, reusable) permutation turns every
         block's scatter-add into a fiber-run segmented reduction instead of a
         per-rank-column ``bincount``.
+    kernel:
+        Optional kernel backend (name or :class:`~repro.sparse.kernels.KernelBackend`).
+        A compiled kernel runs the whole gather/Hadamard/scatter as one fused
+        loop over the nonzeros (no blocking needed — the workspace is one
+        ``R``-vector); ``None`` keeps the blockwise engine-based path.
     """
     factors = _check_sparse_inputs(tensor, factors, what="sparse_mttkrp")
     mode = check_mode(mode, tensor.ndim)
@@ -148,6 +155,17 @@ def sparse_mttkrp(
         raise ValueError(
             f"order_perm must have shape ({tensor.nnz},), got {order_perm.shape}"
         )
+    kernel_obj = kernel if isinstance(kernel, KernelBackend) else get_kernel(kernel)
+    if kernel_obj is not None and kernel_obj.compiled and tensor.ndim > 1:
+        kernel_obj.coo_mttkrp(tensor.indices, tensor.values,
+                              tuple(factors), mode, out)
+        elapsed = time.perf_counter() - start
+        if tracker is not None:
+            tracker.add_flops(category,
+                              (2 * (tensor.ndim - 1) + 1) * tensor.nnz * rank)
+            tracker.add_vertical_words(tensor.nnz * (tensor.ndim + 1) + out.size)
+            tracker.add_seconds(category, elapsed)
+        return out
     others = [j for j in range(tensor.ndim) if j != mode]
     for lo in range(0, tensor.nnz, block_size):
         if order_perm is None:

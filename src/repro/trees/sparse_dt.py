@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.sparse.coo import CooTensor
 from repro.sparse.csf import CsfTensor, run_starts, segment_reduce
+from repro.sparse.kernels import get_kernel
 from repro.trees.amortized import AmortizedTreeMTTKRP, DtOrderPolicy, MsdtOrderPolicy
 
 __all__ = [
@@ -130,8 +131,11 @@ class SparseTreeBackend(AmortizedTreeMTTKRP):
     against ``max_cache_bytes`` (index arrays, not rank-``R`` blocks).
     """
 
+    #: the registry may thread a ``kernel=`` selection into this provider
+    supports_kernel = True
+
     def __init__(self, tensor, factors, tracker=None, max_cache_bytes=None,
-                 engine=None):
+                 engine=None, kernel=None):
         if not isinstance(tensor, CooTensor):
             raise TypeError(
                 f"{type(self).__name__} expects a CooTensor, got "
@@ -139,6 +143,8 @@ class SparseTreeBackend(AmortizedTreeMTTKRP):
             )
         super().__init__(tensor, factors, tracker=tracker,
                          max_cache_bytes=max_cache_bytes, engine=engine)
+        self.kernel = get_kernel(kernel) if isinstance(kernel, (str, type(None))) \
+            else kernel
         self._csf: dict[tuple[int, ...], CsfTensor] = {}
         self._root_steps: dict[int, _RootStep] = {}
         self._fiber_steps: dict[tuple[tuple[int, ...], int], _FiberStep] = {}
@@ -205,9 +211,14 @@ class SparseTreeBackend(AmortizedTreeMTTKRP):
         step = self._root_step(k)
         rank = self.rank
         start = time.perf_counter()
-        rows = self.factors[k][step.k_coords]
-        scaled = self.engine.contract("b,br->br", step.values, rows)
-        block = segment_reduce(scaled, step.starts)
+        if self.kernel is not None and self.kernel.compiled:
+            # fused gather·multiply·segment-reduce: no scaled temporary
+            block = self.kernel.scale_reduce(step.values, step.k_coords,
+                                             self.factors[k], step.starts)
+        else:
+            rows = self.factors[k][step.k_coords]
+            scaled = self.engine.contract("b,br->br", step.values, rows)
+            block = segment_reduce(scaled, step.starts)
         elapsed = time.perf_counter() - start
         if self.tracker is not None:
             nnz = self.tensor.nnz
@@ -226,11 +237,17 @@ class SparseTreeBackend(AmortizedTreeMTTKRP):
         step = self._fiber_step(semi.modes, k, semi.fibers)
         rank = self.rank
         start = time.perf_counter()
-        rows = self.factors[k][step.k_coords]
-        scaled = self.engine.contract("fr,fr->fr", semi.block, rows)
-        if step.perm is not None:
-            scaled = scaled[step.perm]
-        block = segment_reduce(scaled, step.starts)
+        if self.kernel is not None and self.kernel.compiled:
+            # fused multiply·(permute·)segment-reduce over the parent fibers
+            block = self.kernel.scale_reduce(semi.block, step.k_coords,
+                                             self.factors[k], step.starts,
+                                             perm=step.perm)
+        else:
+            rows = self.factors[k][step.k_coords]
+            scaled = self.engine.contract("fr,fr->fr", semi.block, rows)
+            if step.perm is not None:
+                scaled = scaled[step.perm]
+            block = segment_reduce(scaled, step.starts)
         elapsed = time.perf_counter() - start
         if self.tracker is not None:
             n_fibers = semi.n_fibers

@@ -189,6 +189,8 @@ class SemiSparsePairOperator:
         category: str = "mttv",
         engine=None,
         out: np.ndarray | None = None,
+        accumulate: bool = False,
+        kernel=None,
     ) -> np.ndarray:
         """Contract ``factor`` over the non-output fiber axis (Eq. 6 kernel).
 
@@ -197,6 +199,12 @@ class SemiSparsePairOperator:
         ``sum_y M(x, y, k) * factor(y, k)`` — one multiply and one
         segment-add per fiber per rank column instead of the dense kernel's
         ``s_i * s_j * R``.
+
+        With ``accumulate=True`` the contribution is *added* into the caller's
+        ``out`` buffer instead of overwriting it (the fused PP approximated
+        step assembles Eq. 5 this way, with no per-pair temporary); a compiled
+        ``kernel`` then runs the whole thing as one scatter loop
+        (:meth:`~repro.sparse.kernels.KernelBackend.pair_accumulate`).
         """
         if out_axis not in (0, 1):
             raise ValueError(f"out_axis must be 0 or 1, got {out_axis}")
@@ -210,19 +218,36 @@ class SemiSparsePairOperator:
         eng = resolve_engine(engine)
         expected = (self.dims[out_axis], self.rank)
         if out is None:
+            if accumulate:
+                raise ValueError("accumulate=True requires an out= buffer")
             out = np.zeros(expected, dtype=self.block.dtype)
         else:
             if out.shape != expected:
                 raise ValueError(f"out must have shape {expected}, got {out.shape}")
-            out.fill(0.0)
+            if not accumulate:
+                out.fill(0.0)
         start = time.perf_counter()
         if self.n_fibers:
-            rows = factor[self.fibers[:, other]]
-            scaled = eng.contract("fr,fr->fr", self.block, rows)
-            perm, starts, coords = self._grouping(out_axis)
-            if perm is not None:
-                scaled = scaled[perm]
-            out[coords] = segment_reduce(scaled, starts)
+            compiled = kernel is not None and getattr(kernel, "compiled", False)
+            if compiled and accumulate:
+                kernel.pair_accumulate(out, self.fibers, self.block, factor,
+                                       out_axis)
+            elif compiled:
+                perm, starts, coords = self._grouping(out_axis)
+                out[coords] = kernel.scale_reduce(
+                    self.block, self.fibers[:, other], factor, starts, perm=perm
+                )
+            else:
+                rows = factor[self.fibers[:, other]]
+                scaled = eng.contract("fr,fr->fr", self.block, rows)
+                perm, starts, coords = self._grouping(out_axis)
+                if perm is not None:
+                    scaled = scaled[perm]
+                if accumulate:
+                    # run coords are unique, so fancy in-place addition is safe
+                    out[coords] += segment_reduce(scaled, starts)
+                else:
+                    out[coords] = segment_reduce(scaled, starts)
         elapsed = time.perf_counter() - start
         if tracker is not None:
             tracker.add_flops(category, 2 * self.n_fibers * self.rank)
@@ -277,11 +302,12 @@ class OrientedPairOperator:
 
     def contract_delta(self, delta_factor: np.ndarray, tracker=None,
                        category: str = "mttv", engine=None,
-                       out: np.ndarray | None = None) -> np.ndarray:
+                       out: np.ndarray | None = None,
+                       accumulate: bool = False, kernel=None) -> np.ndarray:
         """``U(x, k) = sum_y M(x, y, k) delta(y, k)`` with the lead mode as ``x``."""
         return self.operator.contract_other(
             delta_factor, self.lead_axis, tracker=tracker, category=category,
-            engine=engine, out=out,
+            engine=engine, out=out, accumulate=accumulate, kernel=kernel,
         )
 
     def densify(self) -> np.ndarray:

@@ -410,3 +410,24 @@ class TestServiceMechanics:
         assert threading.get_ident() not in thread_ids  # came from workers
         sweeps = [e.sweep for e in events if e.kind == "sweep"]
         assert sweeps == sorted(sweeps)
+
+    def test_closed_loop_publish_is_counted_not_silent(self, tensor):
+        """Regression: a sweep callback racing service shutdown used to drop
+        its event without a trace; the loss is now counted on the job."""
+        from repro.service.progress import ProgressEvent
+
+        async def main():
+            async with DecompositionService() as svc:
+                job = await svc.submit(DecompositionRequest(tensor, rank=3, seed=0))
+                await svc.result(job.id)
+                return svc, job
+
+        svc, job = run(main())
+        assert job.dropped_events == 0  # clean runs lose nothing
+        n_events = len(job.events)
+        # asyncio.run closed the loop; a straggling worker-thread callback now
+        # hits the RuntimeError path inside _publish_threadsafe
+        svc._publish_threadsafe(job, ProgressEvent(job.id, "sweep", sweep=99))
+        svc._publish_threadsafe(job, ProgressEvent(job.id, "sweep", sweep=100))
+        assert job.dropped_events == 2
+        assert len(job.events) == n_events  # the history really is short

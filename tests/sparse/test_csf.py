@@ -194,3 +194,38 @@ class TestSegmentReduce:
         np.testing.assert_allclose(
             segment_reduce(one, np.array([0, 1])), one
         )
+
+    def test_empty_starts_nonempty_block_raises(self):
+        # regression: this used to return an empty result, silently dropping
+        # every row of the block (a 1-row block goes through run_starts,
+        # which previously produced an empty offset array for it)
+        with pytest.raises(ValueError, match="empty starts"):
+            segment_reduce(np.ones((2, 3)), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError, match="empty starts"):
+            segment_reduce(np.ones((1, 3)), np.zeros(0, dtype=np.int64))
+
+    def test_run_starts_single_row(self):
+        from repro.sparse.csf import run_starts
+
+        # regression: a single sorted row is one run starting at 0, not zero
+        # runs — segment_reduce([row], run_starts(...)) must keep the row
+        col = np.array([7])
+        starts = run_starts([col], 1)
+        np.testing.assert_array_equal(starts, [0])
+        block = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(segment_reduce(block, starts), block)
+        # and the empty case still yields no runs
+        assert run_starts([np.array([], dtype=np.int64)], 0).shape == (0,)
+
+    def test_identity_fast_path_returns_readonly_view(self):
+        # regression: the n_runs == n_rows fast path used to return `block`
+        # itself — callers mutating the "reduction" corrupted the caller's
+        # data. The contract is now an explicitly read-only view.
+        block = np.arange(6.0).reshape(3, 2)
+        out = segment_reduce(block, np.array([0, 1, 2]))
+        assert np.shares_memory(out, block)  # still zero-copy
+        assert not out.flags.writeable
+        with pytest.raises(ValueError):
+            out[0, 0] = 99.0
+        assert block[0, 0] == 0.0  # source untouched, and stays writable
+        assert block.flags.writeable

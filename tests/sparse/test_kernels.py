@@ -1,0 +1,427 @@
+"""Tests for the pluggable sparse kernel backends (`repro.sparse.kernels`).
+
+Three layers:
+
+* registry behaviour — name normalization, ``get_kernel`` resolution, the
+  numba-missing fallback (one-time ``RuntimeWarning`` / ``strict`` raising);
+* :class:`NumpyKernel` primitive parity against straight-line oracles
+  (``segment_reduce`` / ``scale_reduce`` / ``coo_mttkrp`` /
+  ``pair_accumulate``), including the contract that kernel results are always
+  fresh and writable;
+* the compiled *call sites*: a ``NumpyKernel`` subclass with
+  ``compiled = True`` drives the compiled branches of ``sparse_mttkrp``, the
+  semi-sparse tree contractions and the PP pair contraction without numba
+  installed, pinned to the default engine path at 1e-10 (dtype-scaled for
+  float32).  When numba is installed the same tests run again with the real
+  :class:`NumbaKernel`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.cp_als import cp_als
+from repro.core.options import ALSOptions
+from repro.core.pp_cp_als import pp_cp_als
+from repro.sparse import CooTensor
+from repro.sparse.kernels import (
+    KernelBackend,
+    NumpyKernel,
+    available_kernels,
+    get_kernel,
+    normalize_kernel_name,
+    numba_available,
+)
+from repro.sparse.mttkrp import sparse_mttkrp
+from repro.trees.pp_operators import PairwiseOperators
+from repro.trees.registry import available_providers, make_provider
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed (compiled extra)"
+)
+needs_no_numba = pytest.mark.skipif(
+    numba_available(), reason="fallback behaviour only exists without numba"
+)
+
+
+class ForcedCompiledKernel(NumpyKernel):
+    """NumPy kernels flagged as compiled: exercises every ``kernel.compiled``
+    call-site branch without numba installed."""
+
+    name = "forced-compiled"
+    compiled = True
+
+
+def _kernels_under_test():
+    """The kernels whose call-site branches the parity tests drive: always the
+    forced-compiled NumPy one, plus the real numba ones when installed."""
+    kernels = [ForcedCompiledKernel()]
+    if numba_available():
+        kernels.append(get_kernel("numba"))
+        kernels.append(get_kernel("numba-parallel"))
+    return kernels
+
+
+def _random_coo(shape, density, seed, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    dense = rng.random(shape) * (rng.random(shape) < density)
+    dense = dense.astype(dtype)
+    return dense, CooTensor.from_dense(dense), rng
+
+
+def _tol(dtype):
+    # compiled and oracle paths both compute in the input dtype; float32
+    # accumulation differences are ~1e-7 relative
+    return 1e-10 if np.dtype(dtype) == np.float64 else 2e-5
+
+
+def _assert_close(got, expected, label, dtype=np.float64):
+    expected = np.asarray(expected)
+    scale = max(1.0, float(np.abs(expected).max()))
+    err = float(np.abs(np.asarray(got) - expected).max())
+    assert err <= _tol(dtype) * scale, \
+        f"{label}: max|diff|={err:.3e} (scale {scale:.3e})"
+
+
+class TestRegistry:
+    def test_normalize(self):
+        assert normalize_kernel_name(None) is None
+        assert normalize_kernel_name("") is None
+        assert normalize_kernel_name("none") is None
+        assert normalize_kernel_name("default") is None
+        assert normalize_kernel_name("NumPy") == "numpy"
+        assert normalize_kernel_name("numba_parallel") == "numba-parallel"
+        assert normalize_kernel_name(" auto ") == "auto"
+        with pytest.raises(ValueError, match="unknown kernel"):
+            normalize_kernel_name("fortran")
+
+    def test_available(self):
+        assert available_kernels() == ["numpy", "numba", "numba-parallel", "auto"]
+
+    def test_get_kernel_none_and_numpy(self):
+        assert get_kernel(None) is None
+        kernel = get_kernel("numpy")
+        assert isinstance(kernel, NumpyKernel)
+        assert not kernel.compiled and not kernel.parallel
+        # the numpy kernel is a shared singleton
+        assert get_kernel("numpy") is kernel
+
+    def test_auto_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            kernel = get_kernel("auto")
+        assert isinstance(kernel, KernelBackend)
+        assert kernel.compiled == numba_available()
+
+    @needs_no_numba
+    def test_fallback_warns_once_and_returns_numpy(self, monkeypatch):
+        import repro.sparse.kernels as kernels_mod
+
+        monkeypatch.setattr(kernels_mod, "_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            kernel = get_kernel("numba")
+        assert isinstance(kernel, NumpyKernel) and not kernel.compiled
+        # second resolution is silent (the warning is one-time per process)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_kernel("numba-parallel") is kernel
+
+    @needs_no_numba
+    def test_strict_raises_import_error(self):
+        with pytest.raises(ImportError, match="compiled"):
+            get_kernel("numba", strict=True)
+
+    @needs_numba
+    def test_numba_kernels_resolve(self):
+        serial = get_kernel("numba")
+        par = get_kernel("numba-parallel")
+        assert serial.compiled and not serial.parallel
+        assert par.compiled and par.parallel
+        assert get_kernel("numba") is serial  # cached per process
+
+
+class TestNumpyKernelPrimitives:
+    """The pure-NumPy kernel methods against independent straight-line oracles
+    (these are the same oracles that pin the numba kernels in CI)."""
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    def test_segment_reduce(self, kernel):
+        rng = np.random.default_rng(0)
+        block = rng.random((12, 3))
+        starts = np.array([0, 1, 5, 6, 10], dtype=np.int64)
+        out = kernel.segment_reduce(block, starts)
+        bounds = np.append(starts, 12)
+        for k in range(len(starts)):
+            np.testing.assert_allclose(out[k],
+                                       block[bounds[k]:bounds[k + 1]].sum(0))
+        # kernel results are always fresh and writable — even on the identity
+        # pattern where csf.segment_reduce returns a read-only alias
+        ident = kernel.segment_reduce(block, np.arange(12, dtype=np.int64))
+        assert ident.flags.writeable
+        ident[0, 0] = -1.0
+        assert block[0, 0] != -1.0
+        # empty block, no runs
+        assert kernel.segment_reduce(
+            np.zeros((0, 3)), np.zeros(0, dtype=np.int64)).shape == (0, 3)
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    @pytest.mark.parametrize("data_ndim", [1, 2])
+    @pytest.mark.parametrize("use_perm", [False, True])
+    def test_scale_reduce(self, kernel, data_ndim, use_perm):
+        rng = np.random.default_rng(1)
+        n, rank = 15, 4
+        factor = rng.random((6, rank))
+        coords = rng.integers(0, 6, size=n).astype(np.int64)
+        data = rng.random(n) if data_ndim == 1 else rng.random((n, rank))
+        starts = np.array([0, 4, 5, 11], dtype=np.int64)
+        perm = rng.permutation(n).astype(np.int64) if use_perm else None
+
+        out = kernel.scale_reduce(data, coords, factor, starts, perm=perm)
+
+        rows = factor[coords]
+        scaled = data[:, None] * rows if data_ndim == 1 else data * rows
+        if perm is not None:
+            scaled = scaled[perm]
+        bounds = np.append(starts, n)
+        expected = np.stack([scaled[bounds[k]:bounds[k + 1]].sum(0)
+                             for k in range(len(starts))])
+        _assert_close(out, expected, f"scale_reduce[{kernel.name}]")
+        assert out.flags.writeable
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    def test_coo_mttkrp(self, kernel):
+        dense, coo, rng = _random_coo((5, 4, 3, 2), density=0.4, seed=2)
+        rank = 3
+        factors = tuple(rng.random((s, rank)) for s in dense.shape)
+        for mode in range(dense.ndim):
+            out = np.zeros((dense.shape[mode], rank))
+            kernel.coo_mttkrp(coo.indices, coo.values, factors, mode, out)
+            subs = "abcd"[: dense.ndim]
+            operands, spec = [dense], [subs]
+            for j in range(dense.ndim):
+                if j != mode:
+                    operands.append(factors[j])
+                    spec.append(subs[j] + "z")
+            expected = np.einsum(",".join(spec) + "->" + subs[mode] + "z",
+                                 *operands)
+            _assert_close(out, expected, f"coo_mttkrp[{kernel.name}] mode {mode}")
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    @pytest.mark.parametrize("out_axis", [0, 1])
+    def test_pair_accumulate(self, kernel, out_axis):
+        rng = np.random.default_rng(3)
+        dims, rank, n_fibers = (6, 5), 3, 14
+        # repeated output rows on purpose: the scatter must accumulate
+        fibers = np.stack([rng.integers(0, dims[0], n_fibers),
+                           rng.integers(0, dims[1], n_fibers)], axis=1)
+        fibers = fibers.astype(np.int64)
+        block = rng.random((n_fibers, rank))
+        factor = rng.random((dims[1 - out_axis], rank))
+        out = rng.random((dims[out_axis], rank))  # nonzero: tests the +=
+        expected = out.copy()
+        for f in range(n_fibers):
+            expected[fibers[f, out_axis]] += \
+                block[f] * factor[fibers[f, 1 - out_axis]]
+        kernel.pair_accumulate(out, fibers, block, factor, out_axis)
+        _assert_close(out, expected, f"pair_accumulate[{kernel.name}]")
+        # empty fiber set is a no-op
+        before = out.copy()
+        kernel.pair_accumulate(out, np.zeros((0, 2), dtype=np.int64),
+                               np.zeros((0, rank)), factor, out_axis)
+        np.testing.assert_array_equal(out, before)
+
+
+class TestCompiledCallSites:
+    """The ``kernel.compiled`` branches at every call site, driven by the
+    forced-compiled NumPy kernel (and real numba kernels when installed),
+    pinned to the default engine path."""
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_sparse_mttkrp_compiled_path(self, kernel, dtype):
+        dense, coo, rng = _random_coo((6, 5, 4), density=0.3, seed=4,
+                                      dtype=dtype)
+        factors = [rng.random((s, 3)).astype(dtype) for s in dense.shape]
+        for mode in range(3):
+            expected = sparse_mttkrp(coo, factors, mode)
+            got = sparse_mttkrp(coo, factors, mode, kernel=kernel)
+            _assert_close(got, expected, f"mttkrp mode {mode}", dtype=dtype)
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    @pytest.mark.parametrize("engine_name", ["sparse", "dt", "msdt"])
+    def test_providers_match_default_path(self, kernel, engine_name):
+        dense, coo, rng = _random_coo((6, 5, 4, 3), density=0.3, seed=5)
+        factors = [rng.random((s, 3)) for s in dense.shape]
+        reference = make_provider(engine_name, coo, [f.copy() for f in factors])
+        compiled = make_provider(engine_name, coo, [f.copy() for f in factors],
+                                 kernel=kernel)
+        assert compiled.kernel is kernel
+        for step in range(6):
+            mode = step % dense.ndim
+            _assert_close(compiled.mttkrp(mode), reference.mttkrp(mode),
+                          f"{engine_name}[{kernel.name}] mode {mode}")
+            update_mode = (step + 1) % dense.ndim
+            new = rng.random(factors[update_mode].shape)
+            reference.set_factor(update_mode, new)
+            compiled.set_factor(update_mode, new)
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    def test_single_nonzero_and_single_fiber(self, kernel):
+        # the 1-row-block edge case that segment_reduce used to silently drop:
+        # one nonzero makes every fiber grouping a single 1-row run
+        dense = np.zeros((4, 3, 2))
+        dense[2, 1, 0] = 5.0
+        coo = CooTensor.from_dense(dense)
+        rng = np.random.default_rng(6)
+        factors = [rng.random((s, 2)) for s in dense.shape]
+        for engine_name in ("sparse", "dt", "msdt"):
+            provider = make_provider(engine_name, coo,
+                                     [f.copy() for f in factors],
+                                     kernel=kernel)
+            for mode in range(3):
+                expected = np.einsum("abc,bz,cz->az" if mode == 0 else
+                                     ("abc,az,cz->bz" if mode == 1 else
+                                      "abc,az,bz->cz"),
+                                     dense, *[factors[j] for j in range(3)
+                                              if j != mode])
+                _assert_close(provider.mttkrp(mode), expected,
+                              f"single-nnz {engine_name} mode {mode}")
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    def test_empty_tensor(self, kernel):
+        coo = CooTensor(np.zeros((0, 3), dtype=np.int64), np.zeros(0),
+                        shape=(4, 3, 2))
+        rng = np.random.default_rng(7)
+        factors = [rng.random((s, 2)) for s in coo.shape]
+        got = sparse_mttkrp(coo, factors, 0, kernel=kernel)
+        np.testing.assert_array_equal(got, np.zeros((4, 2)))
+        provider = make_provider("dt", coo, factors, kernel=kernel)
+        np.testing.assert_allclose(provider.mttkrp(1), np.zeros((3, 2)))
+
+    @pytest.mark.parametrize("kernel", _kernels_under_test(),
+                             ids=lambda k: k.name)
+    @pytest.mark.parametrize("accumulate", [False, True])
+    def test_pair_contraction_compiled_path(self, kernel, accumulate):
+        dense, coo, rng = _random_coo((5, 4, 3), density=0.4, seed=8)
+        factors = [rng.random((s, 3)) for s in dense.shape]
+        ops = PairwiseOperators.build(coo, [f.copy() for f in factors])
+        for mode in range(3):
+            for other in range(3):
+                if other == mode:
+                    continue
+                op = ops.pair_operator(mode, other)
+                delta = rng.random(factors[other].shape)
+                expected = op.contract_delta(delta)
+                base = rng.random(expected.shape)
+                if accumulate:
+                    out = base.copy()
+                    op.contract_delta(delta, out=out, accumulate=True,
+                                      kernel=kernel)
+                    _assert_close(out, base + expected,
+                                  f"pair ({mode},{other}) accumulate")
+                else:
+                    got = op.contract_delta(delta, kernel=kernel)
+                    _assert_close(got, expected, f"pair ({mode},{other})")
+
+
+class TestDriverKernelOption:
+    """The ``kernel=`` option / ``*_compiled`` engine-name surface of the
+    drivers and the registry."""
+
+    def test_registry_lists_compiled_engines(self):
+        names = available_providers(sparse=True)
+        assert "dt_compiled" in names and "msdt_compiled" in names
+        assert "dt_compiled" not in available_providers(sparse=False)
+
+    def test_als_options_normalizes_kernel(self):
+        assert ALSOptions(rank=2).kernel is None
+        assert ALSOptions(rank=2, kernel="numba_parallel").kernel == \
+            "numba-parallel"
+        with pytest.raises(ValueError, match="unknown kernel"):
+            ALSOptions(rank=2, kernel="fortran")
+
+    def test_compiled_engine_name_sets_provider_kernel(self):
+        _, coo, rng = _random_coo((5, 4, 3), density=0.4, seed=9)
+        factors = [rng.random((s, 2)) for s in coo.shape]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            provider = make_provider("dt_compiled", coo, factors)
+        assert provider.kernel is not None
+        # an explicit kernel= overrides the suffix default
+        explicit = make_provider("msdt_compiled", coo, factors, kernel="numpy")
+        assert isinstance(explicit.kernel, NumpyKernel)
+        assert not explicit.kernel.compiled
+
+    def test_dense_registry_ignores_kernel(self):
+        rng = np.random.default_rng(10)
+        dense = rng.random((4, 3, 2))
+        factors = [rng.random((s, 2)) for s in dense.shape]
+        provider = make_provider("dt", dense, factors, kernel="numpy")
+        assert not hasattr(provider, "kernel")
+
+    @pytest.mark.parametrize("kernel_name", ["numpy", "numba"])
+    def test_cp_als_kernel_matches_default(self, kernel_name):
+        dense, coo, rng = _random_coo((6, 5, 4), density=0.5, seed=11)
+        factors = [rng.random((s, 2)) for s in dense.shape]
+        reference = cp_als(coo, rank=2, n_sweeps=3, tol=0.0, mttkrp="dt",
+                           initial_factors=[f.copy() for f in factors])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            run = cp_als(coo, rank=2, n_sweeps=3, tol=0.0, mttkrp="dt",
+                         kernel=kernel_name,
+                         initial_factors=[f.copy() for f in factors])
+        assert run.options["kernel"] == kernel_name
+        _assert_close(run.residual, np.asarray(reference.residual), "residual")
+        for mode, factor in enumerate(run.factors):
+            _assert_close(factor, reference.factors[mode],
+                          f"cp_als factor {mode}")
+
+    @pytest.mark.parametrize("kernel_name", ["numpy", "numba"])
+    def test_pp_cp_als_kernel_matches_default(self, kernel_name):
+        dense, coo, rng = _random_coo((6, 5, 4), density=0.5, seed=12)
+        factors = [rng.random((s, 2)) for s in dense.shape]
+        kwargs = dict(rank=2, n_sweeps=8, tol=0.0, pp_tol=0.5,
+                      mttkrp="msdt")
+        reference = pp_cp_als(coo, initial_factors=[f.copy() for f in factors],
+                              **kwargs)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            run = pp_cp_als(coo, kernel=kernel_name,
+                            initial_factors=[f.copy() for f in factors],
+                            **kwargs)
+        # the fused PP assembly and the kernel path must not change the run:
+        # same sweep schedule (exact vs approximated), same iterates
+        assert [s.sweep_type for s in run.sweeps] == \
+            [s.sweep_type for s in reference.sweeps]
+        _assert_close(run.residual, np.asarray(reference.residual),
+                      "pp residual")
+        for mode, factor in enumerate(run.factors):
+            _assert_close(factor, reference.factors[mode],
+                          f"pp factor {mode}")
+
+    def test_compiled_engine_name_run_matches_plain(self):
+        _, coo, rng = _random_coo((6, 5, 4), density=0.5, seed=13)
+        factors = [rng.random((s, 2)) for s in coo.shape]
+        plain = cp_als(coo, rank=2, n_sweeps=3, tol=0.0, mttkrp="msdt",
+                       initial_factors=[f.copy() for f in factors])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            compiled = cp_als(coo, rank=2, n_sweeps=3, tol=0.0,
+                              mttkrp="msdt_compiled",
+                              initial_factors=[f.copy() for f in factors])
+        _assert_close(compiled.residual, np.asarray(plain.residual),
+                      "compiled-name residual")
+        for mode, factor in enumerate(compiled.factors):
+            _assert_close(factor, plain.factors[mode],
+                          f"compiled-name factor {mode}")
