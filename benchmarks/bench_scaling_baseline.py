@@ -1,0 +1,127 @@
+"""Scaling baseline: joint-partitioner quality and measured multi-process sweeps.
+
+Two regression anchors for the real-execution layer:
+
+* partition quality — max-imbalance of the ``joint`` (cross-mode) and
+  ``nnz-balanced`` (marginal) partitioners on the skewed Poisson benchmark
+  tensor over a 4x4x4 grid.  Both are deterministic functions of the seeded
+  tensor, so they sit in the gated ``tracked`` section (CI fails on >15%
+  drift against the committed ``BENCH_scaling.json``), and ``joint`` must
+  never be worse than ``nnz-balanced``.
+* measured vs modeled — one P=4 sparse CP-ALS run on a real
+  :class:`~repro.comm.procs.ProcessMachine` (spawned workers, shared-memory
+  factor panels), comparing measured per-sweep wall-clock against the
+  :func:`~repro.costs.sweep_model.sparse_sweep_time_model` prediction under
+  container-like parameters.  Wall-clock is not stable across CI runners, so
+  the measured time and the executed-vs-modeled ratio live in the non-gated
+  ``info`` section.
+
+Run as a script to (re)generate the baseline::
+
+    PYTHONPATH=src python benchmarks/bench_scaling_baseline.py --out BENCH_scaling.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.data.sparse_synthetic import sparse_skewed_count_tensor
+from repro.experiments.weak_scaling import measured_multiprocess_sweep
+from repro.grid.balance import make_partition
+from repro.grid.processor_grid import ProcessorGrid
+
+try:  # pytest-only flag; absent when run as a plain script
+    from conftest import BENCH_TINY
+except ImportError:  # pragma: no cover - script mode
+    BENCH_TINY = False
+
+FULL_CONFIG = {
+    "shape": (200, 200, 200), "density": 0.01, "alpha": 1.1,
+    "imbalance_grid": (4, 4, 4),
+    "mp_nnz_local": 4000, "mp_s_local": 24, "mp_rank": 8,
+    "mp_grid": (1, 2, 2), "mp_sweeps": 4,
+}
+TINY_CONFIG = {
+    "shape": (40, 40, 40), "density": 0.01, "alpha": 1.1,
+    "imbalance_grid": (4, 4, 4),
+    "mp_nnz_local": 500, "mp_s_local": 10, "mp_rank": 4,
+    "mp_grid": (1, 2, 2), "mp_sweeps": 3,
+}
+
+
+def run_baseline(config: dict) -> dict:
+    tensor = sparse_skewed_count_tensor(
+        config["shape"], config["density"], alpha=config["alpha"], seed=0
+    )
+    grid = ProcessorGrid(tuple(config["imbalance_grid"]))
+    reports = {
+        kind: make_partition(kind, tensor, grid, seed=1).report(tensor)
+        for kind in ("nnz-balanced", "joint")
+    }
+    tracked = {
+        "nnz": int(tensor.nnz),
+        "imbalance_pct_nnz_balanced": int(
+            round(100 * reports["nnz-balanced"].imbalance)
+        ),
+        "imbalance_pct_joint": int(round(100 * reports["joint"].imbalance)),
+    }
+
+    measured = measured_multiprocess_sweep(
+        config["mp_nnz_local"], config["mp_s_local"], config["mp_rank"],
+        tuple(config["mp_grid"]), n_sweeps=config["mp_sweeps"],
+        seed=0, alpha=config["alpha"], partitioner="joint",
+    )
+    info = {
+        "mp_grid": measured["grid"],
+        "mp_partition_imbalance": measured["imbalance"],
+        "mp_measured_per_sweep_s": measured["measured_per_sweep_seconds"],
+        "mp_modeled_per_sweep_s": measured["modeled_per_sweep_seconds"],
+        "mp_measured_over_modeled": measured["measured_over_modeled"],
+    }
+    return {
+        "name": "scaling_baseline",
+        "config": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in config.items()},
+        "tracked": tracked,
+        "info": info,
+    }
+
+
+def format_report(data: dict) -> str:
+    lines = [f"scaling baseline ({data['config']})", ""]
+    for section in ("tracked", "info"):
+        lines.append(f"{section}:")
+        for key, value in data[section].items():
+            lines.append(f"  {key:>28s}: {value}")
+    return "\n".join(lines)
+
+
+def test_scaling_baseline(report):
+    """Smoke/report entry point for the pytest harness."""
+    data = run_baseline(TINY_CONFIG if BENCH_TINY else FULL_CONFIG)
+    # the joint partitioner's whole contract: never worse than the marginal
+    # nnz-balanced cut on the same skewed workload
+    assert (data["tracked"]["imbalance_pct_joint"]
+            <= data["tracked"]["imbalance_pct_nnz_balanced"])
+    # the measured multi-process run actually ran and produced finite timings
+    assert data["info"]["mp_measured_per_sweep_s"] > 0.0
+    assert data["info"]["mp_modeled_per_sweep_s"] > 0.0
+    report("bench_scaling_baseline", format_report(data))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_scaling.json"))
+    parser.add_argument("--tiny", action="store_true",
+                        help="tiny shapes (smoke only; not baseline-comparable)")
+    args = parser.parse_args()
+    data = run_baseline(TINY_CONFIG if args.tiny else FULL_CONFIG)
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(format_report(data))
+    print(f"\n[saved to {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ from repro.data.sparse_synthetic import sparse_skewed_count_tensor
 from repro.experiments.reporting import format_table
 from repro.experiments.weak_scaling import (
     executed_sparse_weak_scaling,
+    measured_multiprocess_sweep,
     modeled_sparse_weak_scaling,
 )
 from repro.grid import ProcessorGrid, available_partitioners, make_partition
@@ -62,6 +63,58 @@ def test_partitioner_imbalance(benchmark, report):
     assert reports["uniform"].imbalance > 3.0
     assert reports["nnz-balanced"].imbalance <= 1.5
     assert reports["nnz-balanced"].imbalance <= reports["uniform"].imbalance
+    # the joint (cross-mode) partitioner is never worse than the marginal cut
+    assert reports["joint"].imbalance <= reports["nnz-balanced"].imbalance
+
+
+def test_joint_partitioner_4x4x4(benchmark, report):
+    """The joint partitioner on the skewed 4x4x4 grid, where marginal cuts
+    degrade: 64 ranks see the cross-mode correlation the per-mode histograms
+    hide, and the joint refinement must stay at or below nnz-balanced."""
+    tensor = sparse_skewed_count_tensor(_SHAPE, _DENSITY, alpha=_ALPHA, seed=0)
+    grid = ProcessorGrid((4, 4, 4))
+
+    def _reports():
+        return {
+            kind: make_partition(kind, tensor, grid, seed=1).report(tensor)
+            for kind in ("nnz-balanced", "joint")
+        }
+
+    reports = benchmark(_reports)
+    text = format_table(
+        ["partitioner", "max rank nnz", "imbalance", "empty ranks"],
+        [[kind, int(rep.per_rank_nnz.max()), f"{rep.imbalance:.3f}",
+          rep.empty_ranks] for kind, rep in reports.items()],
+        title=f"Joint vs marginal partitioning on skewed Poisson {_SHAPE}, grid 4x4x4",
+    )
+    report("sparse_partitioner_joint_4x4x4", text)
+    assert reports["joint"].partitioner == "joint"
+    assert reports["joint"].imbalance <= reports["nnz-balanced"].imbalance
+
+
+def test_multiprocess_measured_vs_modeled(benchmark, report):
+    """One real P=4 multi-process sparse sweep (spawned workers, shared-memory
+    panels) against the sparse sweep-time model at the partition's measured
+    imbalance.  The ratio is reported, not asserted — wall-clock on shared CI
+    runners is informational only."""
+    nnz_local = 500 if BENCH_TINY else 4000
+    s_local = 10 if BENCH_TINY else 24
+    mp_rank = 4 if BENCH_TINY else 8
+    out = benchmark.pedantic(
+        measured_multiprocess_sweep,
+        args=(nnz_local, s_local, mp_rank, (1, 2, 2)),
+        kwargs={"n_sweeps": 3, "seed": 0, "alpha": _ALPHA, "partitioner": "joint"},
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        ["metric", "value"],
+        [[k, v] for k, v in out.items()],
+        title="Measured multi-process sweep vs sparse sweep model (P=4)",
+    )
+    report("sparse_multiprocess_measured_vs_modeled", text)
+    assert out["n_procs"] == 4
+    assert out["measured_per_sweep_seconds"] > 0.0
+    assert out["modeled_per_sweep_seconds"] > 0.0
 
 
 def test_executed_sparse_weak_scaling(benchmark, report):

@@ -15,6 +15,10 @@ Two implementations are provided:
   MPI/Cyclops runs (see DESIGN.md).
 * :class:`repro.comm.self_comm.SelfMachine` — the degenerate single-rank
   machine used by the sequential algorithms.
+* :class:`repro.comm.procs.ProcessMachine` — real ``multiprocessing`` workers
+  (one spawned process per rank) with shared-memory factor panels; collectives
+  stay master-driven (bit-identical to the simulated machine) while the
+  rank-local kernels execute in the workers.
 
 :class:`repro.comm.mpi_adapter.MPICollectives` additionally adapts any
 mpi4py-compatible communicator to the small set of array collectives the
@@ -25,5 +29,13 @@ from repro.comm.base import GroupCollectives
 from repro.comm.self_comm import SelfMachine
 from repro.comm.simulated import SimulatedMachine
 from repro.comm.mpi_adapter import MPICollectives
+from repro.comm.procs import ProcessMachine, leaked_segments
 
-__all__ = ["GroupCollectives", "SelfMachine", "SimulatedMachine", "MPICollectives"]
+__all__ = [
+    "GroupCollectives",
+    "SelfMachine",
+    "SimulatedMachine",
+    "MPICollectives",
+    "ProcessMachine",
+    "leaked_segments",
+]

@@ -204,12 +204,28 @@ class ParallelOptions(ALSOptions):
     distributed_solve: bool = True
     partitioner: str = "nnz-balanced"
     update: str = "least_squares"
+    #: execution substrate: ``"simulated"`` (default — logical ranks in one
+    #: process, bit-identical to real distributed execution) or ``"process"``
+    #: (a :class:`~repro.comm.procs.ProcessMachine`: one spawned worker per
+    #: rank with shared-memory factor panels).  Ignored when an explicit
+    #: ``machine=`` is passed to the driver.
+    execution: str = "simulated"
 
     def __post_init__(self) -> None:
         super().__post_init__()
         self.grid = tuple(int(d) for d in self.grid)
         if any(d <= 0 for d in self.grid):
             raise ValueError(f"grid dimensions must be positive, got {self.grid}")
+        self.execution = str(self.execution).lower().strip()
+        if self.execution == "sim":
+            self.execution = "simulated"
+        elif self.execution in ("procs", "multiprocess"):
+            self.execution = "process"
+        if self.execution not in ("simulated", "process"):
+            raise ValueError(
+                "execution must be 'simulated' or 'process', "
+                f"got {self.execution!r}"
+            )
         self.update = str(self.update).lower().strip()
         if self.update == "mu":
             self.update = "multiplicative"

@@ -59,6 +59,12 @@ class ParallelState:
     distributed_solve: bool = True
     solve_latency_messages: int = 2
     extra: dict = field(default_factory=dict)
+    #: the :class:`~repro.distributed.runtime.ProcessRuntime` behind the
+    #: providers when executing on a ProcessMachine (``None`` when simulated)
+    runtime: object | None = None
+    #: whether :func:`setup_parallel_state` created the machine itself (and
+    #: :meth:`close` should therefore shut it down)
+    owns_machine: bool = False
 
     @property
     def order(self) -> int:
@@ -70,6 +76,20 @@ class ParallelState:
 
     def critical_modeled_time(self) -> float:
         return self.machine.modeled_time()
+
+    def close(self) -> None:
+        """Release process-execution resources (idempotent; simulated: no-op).
+
+        Detaches the shared-memory runtime (dropping worker state and
+        unlinking the factor/output panels) and, when the machine was created
+        by :func:`setup_parallel_state` rather than passed in, shuts the
+        worker pool down too.  The drivers call this in a ``finally`` so
+        segments are reclaimed on success, failure and interrupt alike.
+        """
+        if self.runtime is not None:
+            self.runtime.detach()
+        if self.owns_machine and hasattr(self.machine, "close"):
+            self.machine.close()
 
 
 def _charge_all_ranks_flops(machine: SimulatedMachine, category: str, flops: int,
@@ -119,6 +139,9 @@ def setup_parallel_state(
     partitioner: str = "nnz-balanced",
     partition_seed: int | np.random.Generator | None = None,
     kernel: str | None = None,
+    execution: str = "simulated",
+    overlap: bool = True,
+    worker_timeout: float | None = None,
 ) -> ParallelState:
     """Distribute the tensor and factors and build the per-rank MTTKRP engines.
 
@@ -130,6 +153,18 @@ def setup_parallel_state(
     :func:`repro.grid.balance.make_partition`); the per-rank MTTKRP engines
     then come from the sparse registry, so ``mttkrp="dt"``/``"msdt"`` build
     CSF-based semi-sparse dimension trees on each rank's own block.
+
+    ``execution`` selects the substrate when no ``machine`` is passed:
+    ``"simulated"`` (default — logical ranks in-process, bit-identical to
+    real distributed execution) or ``"process"`` (a
+    :class:`~repro.comm.procs.ProcessMachine` with one spawned worker per
+    rank and shared-memory factor panels).  An explicit ``machine`` always
+    wins; a :class:`~repro.comm.procs.ProcessMachine` instance routes the
+    per-rank engines through :class:`~repro.distributed.runtime.ProcessRuntime`
+    proxies either way.  ``overlap``/``worker_timeout`` configure a machine
+    created here (see :class:`~repro.comm.procs.ProcessMachine`).  Callers
+    must ``state.close()`` when done so worker state and shared segments are
+    reclaimed (the drivers do this in a ``finally``).
     """
     if not isinstance(grid, ProcessorGrid):
         grid = ProcessorGrid(grid)
@@ -156,8 +191,22 @@ def setup_parallel_state(
         dist_tensor = DistributedTensor.from_dense(tensor, grid)
         global_shape = tensor.shape
 
+    owns_machine = machine is None
     if machine is None:
-        machine = SimulatedMachine(grid.size, params=params)
+        key = str(execution or "simulated").lower().strip()
+        if key in ("simulated", "sim"):
+            machine = SimulatedMachine(grid.size, params=params)
+        elif key in ("process", "procs", "multiprocess"):
+            from repro.comm.procs import ProcessMachine
+
+            kwargs = {} if worker_timeout is None else {"timeout": worker_timeout}
+            machine = ProcessMachine(grid.size, params=params,
+                                     overlap=overlap, **kwargs)
+        else:
+            raise ValueError(
+                f"unknown execution substrate {execution!r}; "
+                "available: 'simulated', 'process'"
+            )
     elif machine.n_ranks != grid.size:
         raise ValueError(
             f"machine has {machine.n_ranks} ranks but grid needs {grid.size}"
@@ -178,17 +227,35 @@ def setup_parallel_state(
         for mode in range(grid.order)
     ]
 
-    providers: Dict[int, MTTKRPProvider] = {}
-    for proc in grid.ranks():
-        local_factors = [dist_factors[m].local_block_for(proc) for m in range(grid.order)]
-        providers[proc] = make_provider(
-            mttkrp,
-            dist_tensor.local_block(proc),
-            local_factors,
-            tracker=machine.tracker(proc),
-            max_cache_bytes=max_cache_bytes,
-            kernel=kernel,
-        )
+    from repro.comm.procs import ProcessMachine
+
+    runtime = None
+    if isinstance(machine, ProcessMachine):
+        from repro.distributed.runtime import ProcessRuntime
+
+        try:
+            runtime = ProcessRuntime(
+                machine, grid, dist_tensor, dist_factors, mttkrp,
+                kernel=kernel, max_cache_bytes=max_cache_bytes,
+            )
+        except BaseException:
+            if owns_machine:
+                machine.close()
+            raise
+        providers: Dict[int, MTTKRPProvider] = runtime.providers
+    else:
+        providers = {}
+        for proc in grid.ranks():
+            local_factors = [dist_factors[m].local_block_for(proc)
+                             for m in range(grid.order)]
+            providers[proc] = make_provider(
+                mttkrp,
+                dist_tensor.local_block(proc),
+                local_factors,
+                tracker=machine.tracker(proc),
+                max_cache_bytes=max_cache_bytes,
+                kernel=kernel,
+            )
 
     state = ParallelState(
         grid=grid,
@@ -200,6 +267,8 @@ def setup_parallel_state(
         norm_t=dist_tensor.norm(),
         rank=rank,
         distributed_solve=distributed_solve,
+        runtime=runtime,
+        owns_machine=owns_machine,
     )
     # initial Gram matrices + All-Reduce (Algorithm 3 lines 4-9)
     state.grams = [_allreduce_gram(state, mode) for mode in range(grid.order)]
@@ -351,9 +420,20 @@ def parallel_mode_update(
     gamma = compute_gamma(state, mode)
 
     if contributions is None:
+        # submit-all-then-collect: on a ProcessMachine every rank's local
+        # MTTKRP runs concurrently in its worker; simulated providers compute
+        # inline (hasattr keeps the sequential path allocation-free)
         contributions = {}
+        pending: list[int] = []
         for proc in grid.ranks():
-            contributions[proc] = state.providers[proc].mttkrp(mode)
+            provider = state.providers[proc]
+            if hasattr(provider, "mttkrp_submit"):
+                provider.mttkrp_submit(mode)
+                pending.append(proc)
+            else:
+                contributions[proc] = provider.mttkrp(mode)
+        for proc in pending:
+            contributions[proc] = state.providers[proc].mttkrp_result()
 
     slice_groups = grid.slice_groups(mode)
     new_blocks: list[np.ndarray] = []

@@ -55,6 +55,7 @@ def parallel_cp_als(
     partition_seed: int | np.random.Generator | None = None,
     update: str | None = None,
     kernel: str | None = None,
+    execution: str | None = None,
     options: ParallelOptions | None = None,
 ) -> ParallelALSResult:
     """Distributed-memory CP-ALS (Algorithm 3) executed on the simulated machine.
@@ -88,8 +89,16 @@ def parallel_cp_als(
         chunk update, All-Gather, Gram All-Reduce — is identical, and the
         iterates match the sequential driver running the same rule.
     machine / params:
-        The simulated machine (or its cost parameters) to run on; a fresh
-        machine with KNL-like parameters is created when omitted.
+        The machine (or its cost parameters) to run on; a fresh machine with
+        KNL-like parameters is created when omitted.  Passing a
+        :class:`~repro.comm.procs.ProcessMachine` runs the per-rank kernels
+        in real worker processes (the machine is then *not* closed here, so
+        it can be reused across runs).
+    execution:
+        Substrate for an auto-created machine: ``"simulated"`` (default,
+        bit-identical logical ranks) or ``"process"`` (spawned workers with
+        shared-memory factor panels; created, used and torn down within this
+        call).  Ignored when ``machine=`` is given.
     options:
         A :class:`~repro.core.options.ParallelOptions` bundle carrying
         ``rank``, ``grid``, ``n_sweeps``, ``tol``, ``mttkrp``, ``seed``,
@@ -109,6 +118,7 @@ def parallel_cp_als(
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "mttkrp": mttkrp,
          "seed": seed, "distributed_solve": distributed_solve,
          "partitioner": partitioner, "update": update, "kernel": kernel,
+         "execution": execution,
          "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
     )
     rank, n_sweeps, tol, mttkrp, seed = (
@@ -127,7 +137,7 @@ def parallel_cp_als(
         distributed_solve=distributed_solve,
         max_cache_bytes=max_cache_bytes,
         partitioner=partitioner, partition_seed=partition_seed,
-        kernel=opts.kernel,
+        kernel=opts.kernel, execution=opts.execution,
     )
     machine = state.machine
     order = state.order
@@ -141,43 +151,48 @@ def parallel_cp_als(
     sweeps_run = 0
     run_start = time.perf_counter()
 
-    for sweep in range(n_sweeps):
-        sweep_start = time.perf_counter()
-        snapshots = machine.snapshot_costs()
-        last_summed = run_parallel_sweep(state, rule=rule)
-        residual = residual_from_mttkrp(
-            state.norm_t,
-            last_summed,
-            state.dist_factors[order - 1].padded_global(),
-            state.grams,
-            last_mode=order - 1,
-        )
-        elapsed = time.perf_counter() - sweep_start
-        cumulative += elapsed
-        sweeps_run = sweep + 1
-
-        sweep_costs = machine.costs_since(snapshots)
-        critical = CostTracker.max_over(sweep_costs)
-        modeled = critical.modeled_time(machine.params)
-        per_sweep_modeled.append(modeled)
-        if record_sweeps:
-            records.append(
-                SweepRecord(
-                    index=sweep,
-                    sweep_type="als",
-                    fitness=ResultBase.fitness_from_residual(residual),
-                    residual=residual,
-                    elapsed_seconds=elapsed,
-                    cumulative_seconds=cumulative,
-                    kernel_seconds=critical.seconds_by_category,
-                    flops=critical.flops_by_category,
-                    modeled_seconds=modeled,
-                )
+    # the finally releases process-execution workers and shared segments on
+    # success, failure and KeyboardInterrupt alike (no-op when simulated)
+    try:
+        for sweep in range(n_sweeps):
+            sweep_start = time.perf_counter()
+            snapshots = machine.snapshot_costs()
+            last_summed = run_parallel_sweep(state, rule=rule)
+            residual = residual_from_mttkrp(
+                state.norm_t,
+                last_summed,
+                state.dist_factors[order - 1].padded_global(),
+                state.grams,
+                last_mode=order - 1,
             )
-        if abs(previous_residual - residual) < tol:
-            converged = True
-            break
-        previous_residual = residual
+            elapsed = time.perf_counter() - sweep_start
+            cumulative += elapsed
+            sweeps_run = sweep + 1
+
+            sweep_costs = machine.costs_since(snapshots)
+            critical = CostTracker.max_over(sweep_costs)
+            modeled = critical.modeled_time(machine.params)
+            per_sweep_modeled.append(modeled)
+            if record_sweeps:
+                records.append(
+                    SweepRecord(
+                        index=sweep,
+                        sweep_type="als",
+                        fitness=ResultBase.fitness_from_residual(residual),
+                        residual=residual,
+                        elapsed_seconds=elapsed,
+                        cumulative_seconds=cumulative,
+                        kernel_seconds=critical.seconds_by_category,
+                        flops=critical.flops_by_category,
+                        modeled_seconds=modeled,
+                    )
+                )
+            if abs(previous_residual - residual) < tol:
+                converged = True
+                break
+            previous_residual = residual
+    finally:
+        state.close()
 
     total_elapsed = time.perf_counter() - run_start
     return ParallelALSResult(
@@ -200,6 +215,7 @@ def parallel_cp_als(
             "partitioner": getattr(
                 getattr(state.dist_tensor, "partition", None), "name", None
             ),
+            "execution": type(state.machine).__name__,
         },
         grid_dims=tuple(state.grid.dims),
         per_sweep_modeled_seconds=per_sweep_modeled,

@@ -55,16 +55,30 @@ def _build_local_pp_operators(state: ParallelState) -> Dict[int, PairwiseOperato
     stay in fiber form — order > 3 blocks no longer materialize the dense
     ``(s_i, s_j, R)`` pair operators, and intermediates still valid from the
     preceding exact sweep are reused rank-locally.
+
+    Remote providers (process execution) build their operators inside the
+    worker instead, concurrently across ranks; the worker also checkpoints
+    its factors so later PP contributions can recompute the delta factors
+    locally.  Their dict entry is the provider itself — the contribution path
+    dispatches on it, never on a master-side operator set.
     """
     operators: Dict[int, PairwiseOperators] = {}
+    remote = [proc for proc in state.grid.ranks()
+              if hasattr(state.providers[proc], "pp_build_submit")]
+    for proc in remote:
+        state.providers[proc].pp_build_submit()
     for proc in state.grid.ranks():
         provider = state.providers[proc]
-        operators[proc] = PairwiseOperators.build(
-            provider.tensor,
-            provider.factors,
-            tracker=state.machine.tracker(proc),
-            provider=provider,
-        )
+        if proc in remote:
+            provider.pp_build_result()
+            operators[proc] = provider
+        else:
+            operators[proc] = PairwiseOperators.build(
+                provider.tensor,
+                provider.factors,
+                tracker=state.machine.tracker(proc),
+                provider=provider,
+            )
     return operators
 
 
@@ -116,7 +130,17 @@ def _pp_contributions(
     group_size = len(slice_groups[0]) if slice_groups else 1
 
     contributions: Dict[int, np.ndarray] = {}
+    remote = [proc for proc in state.grid.ranks()
+              if hasattr(state.providers[proc], "pp_contrib_submit")]
+    for proc in remote:
+        # the worker recomputes its delta factors from the pp_build checkpoint,
+        # so only the R x R accumulator crosses the process boundary
+        state.providers[proc].pp_contrib_submit(mode, accumulator, group_size)
+    for proc in remote:
+        contributions[proc] = state.providers[proc].pp_contrib_result()
     for proc in state.grid.ranks():
+        if proc in remote:
+            continue
         tracker = machine.tracker(proc)
         ops = local_operators[proc]
         t0 = time.perf_counter()
@@ -168,6 +192,7 @@ def parallel_pp_cp_als(
     partition_seed: int | np.random.Generator | None = None,
     update: str | None = None,
     kernel: str | None = None,
+    execution: str | None = None,
     options: ParallelPPOptions | None = None,
 ) -> ParallelALSResult:
     """Parallel PP-CP-ALS (Algorithm 4) on the simulated machine.
@@ -188,6 +213,7 @@ def parallel_pp_cp_als(
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "pp_tol": pp_tol,
          "mttkrp": mttkrp, "seed": seed, "distributed_solve": distributed_solve,
          "partitioner": partitioner, "update": update, "kernel": kernel,
+         "execution": execution,
          "max_pp_sweeps_per_phase": max_pp_sweeps_per_phase,
          "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
     )
@@ -212,7 +238,7 @@ def parallel_pp_cp_als(
         distributed_solve=distributed_solve,
         max_cache_bytes=max_cache_bytes,
         partitioner=partitioner, partition_seed=partition_seed,
-        kernel=opts.kernel,
+        kernel=opts.kernel, execution=opts.execution,
     )
     machine = state.machine
     order = state.order
@@ -258,107 +284,112 @@ def parallel_pp_cp_als(
                 )
             )
 
-    while total_sweeps < n_sweeps:
-        if _within_tolerance():
-            # ---------------------------------------------------- PP initialization
-            sweep_start = time.perf_counter()
-            snapshots = machine.snapshot_costs()
-            checkpoint = [df.copy() for df in state.dist_factors]
-            delta_factors = zero_delta_factors(state)
-            local_operators = _build_local_pp_operators(state)
-            delta_grams = [np.zeros((rank, rank)) for _ in range(order)]
-            total_sweeps += 1
-            elapsed = time.perf_counter() - sweep_start
-            _record("pp-init", elapsed, snapshots)
-
-            # ---------------------------------------------------- PP approximated sweeps
-            inner = 0
-            while (
-                total_sweeps < n_sweeps
-                and inner < max_pp_sweeps_per_phase
-                and _within_tolerance()
-            ):
+    # the finally releases process-execution workers and shared segments on
+    # success, failure and KeyboardInterrupt alike (no-op when simulated)
+    try:
+        while total_sweeps < n_sweeps:
+            if _within_tolerance():
+                # ---------------------------------------------------- PP initialization
                 sweep_start = time.perf_counter()
                 snapshots = machine.snapshot_costs()
-                last_summed = None
-                for mode in range(order):
-                    contributions = _pp_contributions(
-                        state, local_operators, delta_factors,
-                        state.grams, delta_grams, mode,
-                    )
-                    _, summed = parallel_mode_update(state, mode, contributions=contributions)
-                    last_summed = summed
-                    # refresh the distributed step and its Gram products
-                    for block_index in range(state.grid.dims[mode]):
-                        delta_factors[mode].set_block(
-                            block_index,
-                            state.dist_factors[mode].block(block_index)
-                            - checkpoint[mode].block(block_index),
-                        )
-                    delta_grams[mode] = allreduce_rowwise_product(
-                        state,
-                        state.dist_factors[mode].padded_global(),
-                        delta_factors[mode].padded_global(),
-                    )
-                assert last_summed is not None
-                residual = residual_from_mttkrp(
-                    state.norm_t,
-                    last_summed,
-                    state.dist_factors[order - 1].padded_global(),
-                    state.grams,
-                    last_mode=order - 1,
-                )
+                checkpoint = [df.copy() for df in state.dist_factors]
+                delta_factors = zero_delta_factors(state)
+                local_operators = _build_local_pp_operators(state)
+                delta_grams = [np.zeros((rank, rank)) for _ in range(order)]
                 total_sweeps += 1
-                inner += 1
                 elapsed = time.perf_counter() - sweep_start
-                _record("pp-approx", elapsed, snapshots)
-                if abs(previous_residual - residual) < tol:
-                    break
-                previous_residual = residual
+                _record("pp-init", elapsed, snapshots)
 
-        if total_sweeps >= n_sweeps:
-            break
+                # ---------------------------------------------------- PP approximated sweeps
+                inner = 0
+                while (
+                    total_sweeps < n_sweeps
+                    and inner < max_pp_sweeps_per_phase
+                    and _within_tolerance()
+                ):
+                    sweep_start = time.perf_counter()
+                    snapshots = machine.snapshot_costs()
+                    last_summed = None
+                    for mode in range(order):
+                        contributions = _pp_contributions(
+                            state, local_operators, delta_factors,
+                            state.grams, delta_grams, mode,
+                        )
+                        _, summed = parallel_mode_update(state, mode, contributions=contributions)
+                        last_summed = summed
+                        # refresh the distributed step and its Gram products
+                        for block_index in range(state.grid.dims[mode]):
+                            delta_factors[mode].set_block(
+                                block_index,
+                                state.dist_factors[mode].block(block_index)
+                                - checkpoint[mode].block(block_index),
+                            )
+                        delta_grams[mode] = allreduce_rowwise_product(
+                            state,
+                            state.dist_factors[mode].padded_global(),
+                            delta_factors[mode].padded_global(),
+                        )
+                    assert last_summed is not None
+                    residual = residual_from_mttkrp(
+                        state.norm_t,
+                        last_summed,
+                        state.dist_factors[order - 1].padded_global(),
+                        state.grams,
+                        last_mode=order - 1,
+                    )
+                    total_sweeps += 1
+                    inner += 1
+                    elapsed = time.perf_counter() - sweep_start
+                    _record("pp-approx", elapsed, snapshots)
+                    if abs(previous_residual - residual) < tol:
+                        break
+                    previous_residual = residual
 
-        # -------------------------------------------------------------- exact sweep
-        sweep_start = time.perf_counter()
-        snapshots = machine.snapshot_costs()
-        before_blocks = [df.copy() for df in state.dist_factors]
-        last_summed = None
-        for mode in range(order):
-            _, summed = parallel_mode_update(state, mode)
-            last_summed = summed
-        assert last_summed is not None
-        residual = residual_from_mttkrp(
-            state.norm_t,
-            last_summed,
-            state.dist_factors[order - 1].padded_global(),
-            state.grams,
-            last_mode=order - 1,
-        )
-        delta_factors = []
-        for mode in range(order):
-            blocks = [
-                state.dist_factors[mode].block(x) - before_blocks[mode].block(x)
-                for x in range(state.grid.dims[mode])
-            ]
-            delta_factors.append(
-                DistributedFactor(
-                    mode,
-                    state.dist_factors[mode].global_rows,
-                    rank,
-                    state.grid,
-                    blocks,
-                    partition=state.dist_factors[mode].partition,
-                )
+            if total_sweeps >= n_sweeps:
+                break
+
+            # -------------------------------------------------------------- exact sweep
+            sweep_start = time.perf_counter()
+            snapshots = machine.snapshot_costs()
+            before_blocks = [df.copy() for df in state.dist_factors]
+            last_summed = None
+            for mode in range(order):
+                _, summed = parallel_mode_update(state, mode)
+                last_summed = summed
+            assert last_summed is not None
+            residual = residual_from_mttkrp(
+                state.norm_t,
+                last_summed,
+                state.dist_factors[order - 1].padded_global(),
+                state.grams,
+                last_mode=order - 1,
             )
-        total_sweeps += 1
-        elapsed = time.perf_counter() - sweep_start
-        _record("als", elapsed, snapshots)
-        if abs(previous_residual - residual) < tol:
-            converged = True
-            break
-        previous_residual = residual
+            delta_factors = []
+            for mode in range(order):
+                blocks = [
+                    state.dist_factors[mode].block(x) - before_blocks[mode].block(x)
+                    for x in range(state.grid.dims[mode])
+                ]
+                delta_factors.append(
+                    DistributedFactor(
+                        mode,
+                        state.dist_factors[mode].global_rows,
+                        rank,
+                        state.grid,
+                        blocks,
+                        partition=state.dist_factors[mode].partition,
+                    )
+                )
+            total_sweeps += 1
+            elapsed = time.perf_counter() - sweep_start
+            _record("als", elapsed, snapshots)
+            if abs(previous_residual - residual) < tol:
+                converged = True
+                break
+            previous_residual = residual
 
+    finally:
+        state.close()
     total_elapsed = time.perf_counter() - run_start
     return ParallelALSResult(
         factors=state.global_factors(),

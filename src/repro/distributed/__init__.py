@@ -14,10 +14,23 @@ Two tensor layouts share that factor distribution:
   per-mode partitioners of :mod:`repro.grid.balance` (uniform baseline,
   nnz-balanced, random/cyclic permutation), with uniform padded extents so
   the collectives of the sweep stay identical to the dense path.
+
+:mod:`repro.distributed.runtime` adds the process-execution runtime on top of
+the same layout: :class:`~repro.distributed.runtime.ProcessRuntime` mirrors the
+distributed factor blocks into shared-memory panels and drives one
+:class:`~repro.distributed.runtime.RemoteProvider` per rank against a
+:class:`~repro.comm.procs.ProcessMachine`.
 """
 
 from repro.distributed.dist_tensor import DistributedTensor
 from repro.distributed.dist_factor import DistributedFactor
 from repro.distributed.sparse import DistSparseTensor
+from repro.distributed.runtime import ProcessRuntime, RemoteProvider
 
-__all__ = ["DistributedTensor", "DistributedFactor", "DistSparseTensor"]
+__all__ = [
+    "DistributedTensor",
+    "DistributedFactor",
+    "DistSparseTensor",
+    "ProcessRuntime",
+    "RemoteProvider",
+]

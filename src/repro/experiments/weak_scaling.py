@@ -18,6 +18,12 @@ The paper's grid lists are exposed as :data:`PAPER_GRIDS_ORDER3` and
 extend the study to the sparse workload class: fixed *nonzeros per processor*
 instead of fixed dense block volume, skewed synthetic inputs, and the
 pluggable partitioners of :mod:`repro.grid.balance`.
+
+:func:`measured_multiprocess_sweep` closes the loop on the model: it runs the
+same sparse sweep on a real :class:`~repro.comm.procs.ProcessMachine` (one OS
+process per rank) and compares *measured wall-clock* per sweep against the
+:func:`~repro.costs.sweep_model.sparse_sweep_time_model` prediction under
+container-like machine parameters.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ __all__ = [
     "executed_weak_scaling",
     "modeled_sparse_weak_scaling",
     "executed_sparse_weak_scaling",
+    "measured_multiprocess_sweep",
     "PAPER_GRIDS_ORDER3",
     "PAPER_GRIDS_ORDER4",
 ]
@@ -278,3 +285,74 @@ def executed_sparse_weak_scaling(
                                  "executed")
             )
     return points
+
+
+def measured_multiprocess_sweep(
+    nnz_local: int,
+    s_local: int,
+    rank: int,
+    grid: Sequence[int],
+    n_sweeps: int = 4,
+    seed: int = 0,
+    alpha: float = 1.0,
+    partitioner: str = "joint",
+    params: MachineParams | None = None,
+    method: str = "dt",
+) -> dict:
+    """Measured multi-process sweep wall-clock vs the sparse sweep model.
+
+    Builds the same skewed Poisson workload as
+    :func:`executed_sparse_weak_scaling`, runs ``parallel_cp_als`` with
+    ``execution="process"`` (a real :class:`~repro.comm.procs.ProcessMachine`
+    with one spawned worker per rank), and reports the mean *measured*
+    per-sweep wall-clock — the first sweep is dropped as warm-up (BLAS/cache
+    effects and the workers' first-touch of the shared panels) — next to the
+    :func:`~repro.costs.sweep_model.sparse_sweep_time_model` prediction at the
+    partition's *actual* measured imbalance.  ``params`` defaults to
+    :meth:`~repro.machine.params.MachineParams.container_like` because the
+    comparison is against this container, not the paper's KNL nodes.
+
+    Returns a plain dict (ready for benchmark JSON): measured and modeled
+    per-sweep seconds, their ratio, the partition imbalance, and the workload
+    description.
+    """
+    from repro.grid.balance import make_partition
+    from repro.grid.processor_grid import ProcessorGrid
+
+    grid = tuple(int(d) for d in grid)
+    params = params if params is not None else MachineParams.container_like()
+    n_procs = int(np.prod(grid))
+    shape = tuple(s_local * d for d in grid)
+    size = int(np.prod(shape, dtype=np.int64))
+    density = min(1.0, nnz_local * n_procs / size)
+    tensor = sparse_skewed_count_tensor(shape, density, alpha=alpha, seed=seed)
+    report = make_partition(
+        partitioner, tensor, ProcessorGrid(grid), seed=seed
+    ).report(tensor)
+
+    result = parallel_cp_als(
+        tensor, rank, grid, n_sweeps=n_sweeps, tol=0.0, mttkrp=method,
+        params=params, seed=seed, partitioner=partitioner, partition_seed=seed,
+        execution="process",
+    )
+    sweeps = [s for s in result.sweeps if s.sweep_type == "als"]
+    timed = sweeps[1:] if len(sweeps) > 1 else sweeps
+    measured = float(np.mean([s.elapsed_seconds for s in timed]))
+
+    modeled = sparse_sweep_time_model(
+        method, max(tensor.nnz // n_procs, 1), shape, rank, grid,
+        imbalance=report.imbalance, params=params,
+    ).total_seconds
+    return {
+        "grid": "x".join(str(d) for d in grid),
+        "n_procs": n_procs,
+        "method": f"sparse-{method}",
+        "partitioner": report.partitioner,
+        "imbalance": float(report.imbalance),
+        "nnz": int(tensor.nnz),
+        "rank": int(rank),
+        "n_timed_sweeps": len(timed),
+        "measured_per_sweep_seconds": measured,
+        "modeled_per_sweep_seconds": float(modeled),
+        "measured_over_modeled": float(measured / modeled) if modeled else float("inf"),
+    }

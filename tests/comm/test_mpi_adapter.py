@@ -1,0 +1,217 @@
+"""MPICollectives against a multi-rank fake mpi4py communicator.
+
+mpi4py is an optional dependency, so the adapter is communicator-duck-typed:
+anything with ``Get_rank``/``Get_size``/``allreduce``/``allgather``/``bcast``
+works.  The fake here models a *whole world at once* — one ``FakeComm`` per
+rank sharing a world dict of per-rank contributions — so every collective can
+verify both halves of the contract: what each rank submits, and that every
+rank receives the same (correctly reduced/gathered) result.  Alongside the
+happy paths, the suite pins the dtype and shape normalization the parallel
+drivers rely on (float64 promotion of ints and float32s, ``atleast_2d`` of
+1-d row blocks) and the ``row_ranges`` validation edge cases of the
+reduce-scatter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.mpi_adapter import MPICollectives
+
+
+class FakeWorld:
+    """Shared state of a fake MPI world: per-rank submissions by collective."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.submitted: dict[str, dict[int, object]] = {}
+
+    def comms(self) -> list["FakeComm"]:
+        return [FakeComm(self, rank) for rank in range(self.size)]
+
+
+class FakeComm:
+    """One rank's view of the fake world (the mpi4py-style duck surface).
+
+    The collectives are *deferred*: each rank records its contribution, and
+    results are computed from the full world once all ranks have submitted —
+    mirroring how a real collective only completes when every rank calls it.
+    For the single-threaded tests the world is pre-populated by calling the
+    collective through every rank's comm in rank order.
+    """
+
+    def __init__(self, world: FakeWorld, rank: int):
+        self.world = world
+        self._rank = rank
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self.world.size
+
+    def _record(self, op: str, value):
+        self.world.submitted.setdefault(op, {})[self._rank] = value
+
+    def allreduce(self, value):
+        self._record("allreduce", value)
+        mine = np.asarray(value)
+        # every rank contributes its own local value; the fake sums what has
+        # been submitted so far plus the not-yet-submitted ranks' zeros —
+        # tests drive all ranks, so the last rank sees the full sum and the
+        # suite asserts all ranks agree by construction of the expected value
+        total = np.zeros_like(mine, dtype=np.float64)
+        for rank in range(self.world.size):
+            contribution = self.world.submitted["allreduce"].get(rank)
+            if contribution is not None:
+                total = total + np.asarray(contribution, dtype=np.float64)
+        return total
+
+    def allgather(self, value):
+        self._record("allgather", value)
+        out = []
+        for rank in range(self.world.size):
+            contribution = self.world.submitted["allgather"].get(rank)
+            out.append(contribution if contribution is not None
+                       else np.asarray(value))
+        return out
+
+    def bcast(self, value, root=0):
+        self._record("bcast", value)
+        rooted = self.world.submitted["bcast"].get(root)
+        return rooted if rooted is not None else value
+
+
+@pytest.fixture
+def world():
+    return FakeWorld(3)
+
+
+@pytest.fixture
+def adapters(world):
+    return [MPICollectives(comm) for comm in world.comms()]
+
+
+class TestConstruction:
+    def test_requires_the_mpi4py_surface(self):
+        class NotAComm:
+            def Get_rank(self):
+                return 0
+
+        with pytest.raises(TypeError, match="allgather"):
+            MPICollectives(NotAComm())
+
+    def test_rank_and_size(self, adapters):
+        assert [a.rank for a in adapters] == [0, 1, 2]
+        assert all(a.size == 3 for a in adapters)
+
+
+class TestAllReduce:
+    def test_sums_every_ranks_contribution(self, world, adapters):
+        locals_ = [np.full((2, 2), float(rank + 1)) for rank in range(3)]
+        for adapter, local in zip(adapters, locals_):
+            adapter.all_reduce(local)
+        # each rank submitted exactly its own float64 block
+        for rank, local in enumerate(locals_):
+            submitted = world.submitted["allreduce"][rank]
+            assert submitted.dtype == np.float64
+            np.testing.assert_array_equal(submitted, local)
+        # the completed collective returns the true sum
+        result = adapters[-1].all_reduce(locals_[-1])
+        np.testing.assert_allclose(result, np.full((2, 2), 1.0 + 2.0 + 3.0))
+
+    def test_promotes_int_and_float32_to_float64(self, adapters):
+        out_int = adapters[0].all_reduce(np.array([[1, 2], [3, 4]]))
+        assert out_int.dtype == np.float64
+        out_f32 = adapters[0].all_reduce(
+            np.array([[1.5]], dtype=np.float32)
+        )
+        assert out_f32.dtype == np.float64
+        np.testing.assert_allclose(out_f32, [[1.5]])
+
+    def test_scalar_and_1d_inputs(self, adapters):
+        assert adapters[0].all_reduce(np.float64(2.5)) == pytest.approx(2.5)
+        out = adapters[0].all_reduce(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+
+class TestAllGatherRows:
+    def test_concatenates_in_rank_order(self, adapters):
+        blocks = [np.full((rank + 1, 2), float(rank)) for rank in range(3)]
+        for adapter, block in zip(adapters, blocks):
+            adapter.all_gather_rows(block)
+        result = adapters[-1].all_gather_rows(blocks[-1])
+        np.testing.assert_array_equal(result, np.concatenate(blocks, axis=0))
+        assert result.shape == (6, 2)
+
+    def test_1d_rows_are_promoted_to_2d(self, world, adapters):
+        for adapter, value in zip(adapters, ([1.0, 2.0], [3.0, 4.0], [5.0, 6.0])):
+            adapter.all_gather_rows(np.array(value))
+        result = adapters[-1].all_gather_rows(np.array([5.0, 6.0]))
+        assert result.shape == (3, 2)
+        np.testing.assert_array_equal(result[0], [1.0, 2.0])
+        # what went over the wire was already the 2-d float64 row block
+        assert world.submitted["allgather"][0].shape == (1, 2)
+
+    def test_int_blocks_become_float64(self, adapters):
+        result = adapters[0].all_gather_rows(np.array([[1, 2]]))
+        assert result.dtype == np.float64
+
+
+class TestReduceScatterRows:
+    def test_each_rank_gets_its_slice_of_the_sum(self, world, adapters):
+        ranges = [(0, 2), (2, 3), (3, 4)]
+        locals_ = [np.full((4, 2), float(rank + 1)) for rank in range(3)]
+        # first pass primes the world with every rank's contribution; the
+        # verification pass below then sees the completed collective
+        for adapter, local in zip(adapters, locals_):
+            adapter.reduce_scatter_rows(local, ranges)
+        expected_total = np.full((4, 2), 6.0)
+        for rank, adapter in enumerate(adapters):
+            out = adapter.reduce_scatter_rows(locals_[rank], ranges)
+            start, stop = ranges[rank]
+            assert out.shape == (stop - start, 2)
+            np.testing.assert_allclose(out, expected_total[start:stop])
+
+    def test_result_is_an_owned_copy(self, adapters):
+        out = adapters[0].reduce_scatter_rows(np.ones((2, 2)), [(0, 1), (1, 2), (2, 2)])
+        assert out.base is None  # .copy(): safe to mutate rank-locally
+
+    def test_empty_slice_is_allowed(self, adapters):
+        out = adapters[2].reduce_scatter_rows(np.ones((2, 2)), [(0, 1), (1, 2), (2, 2)])
+        assert out.shape == (0, 2)
+
+    def test_wrong_range_count_raises(self, adapters):
+        with pytest.raises(ValueError, match="one range per rank"):
+            adapters[0].reduce_scatter_rows(np.ones((2, 2)), [(0, 2)])
+
+    def test_out_of_bounds_range_raises(self, adapters):
+        with pytest.raises(ValueError, match="invalid"):
+            adapters[0].reduce_scatter_rows(
+                np.ones((2, 2)), [(0, 3), (0, 0), (0, 0)]
+            )
+
+    def test_reversed_range_raises(self, adapters):
+        with pytest.raises(ValueError, match="invalid"):
+            adapters[0].reduce_scatter_rows(
+                np.ones((2, 2)), [(1, 0), (0, 0), (0, 0)]
+            )
+
+
+class TestBroadcast:
+    def test_everyone_receives_the_root_value(self, adapters):
+        value = np.arange(6.0).reshape(2, 3)
+        out_root = adapters[0].broadcast(value, root=0)
+        for adapter in adapters[1:]:
+            out = adapter.broadcast(None, root=0)
+            np.testing.assert_array_equal(out, value)
+        np.testing.assert_array_equal(out_root, value)
+
+    def test_non_default_root(self, world, adapters):
+        value = np.array([7.0])
+        adapters[1].broadcast(value, root=1)
+        out = adapters[2].broadcast(None, root=1)
+        np.testing.assert_array_equal(out, value)
+
+    def test_scalar_broadcast(self, adapters):
+        out = adapters[0].broadcast(np.float64(3.25))
+        assert out == pytest.approx(3.25)

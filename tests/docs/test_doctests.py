@@ -74,7 +74,9 @@ def test_every_public_name_has_a_docstring():
 
 
 @pytest.mark.parametrize(
-    "page", ["quickstart.rst", "algorithms.rst", "engines.rst", "service.rst"]
+    "page",
+    ["quickstart.rst", "algorithms.rst", "engines.rst", "service.rst",
+     "execution.rst"],
 )
 def test_docs_page_examples_run(page):
     path = DOCS_DIR / page
