@@ -11,10 +11,16 @@ Two regression anchors for the real-execution layer:
 * measured vs modeled — one P=4 sparse CP-ALS run on a real
   :class:`~repro.comm.procs.ProcessMachine` (spawned workers, shared-memory
   factor panels), comparing measured per-sweep wall-clock against the
-  :func:`~repro.costs.sweep_model.sparse_sweep_time_model` prediction under
-  container-like parameters.  Wall-clock is not stable across CI runners, so
-  the measured time and the executed-vs-modeled ratio live in the non-gated
-  ``info`` section.
+  :func:`~repro.costs.sweep_model.sparse_sweep_time_model` prediction.  The
+  model's per-message latency and per-word IPC terms (``alpha_hop`` /
+  ``beta_hop``) are first fitted on this machine by
+  :func:`~repro.machine.calibrate.calibrate_machine_params` over a small
+  P ∈ {1, 2, 4} ladder, then the P=4 run is re-measured under the fitted
+  parameters.  Wall-clock is not stable across CI runners, so the raw
+  timings and ratios live in the non-gated ``info`` section; the *structural*
+  claim — calibration closes the measured/modeled gap to ≤ 3x at P=4 — is a
+  1/0 indicator in the gated ``tracked`` section
+  (``mp_calibrated_ratio_le_3``).
 
 Run as a script to (re)generate the baseline::
 
@@ -31,6 +37,7 @@ from repro.data.sparse_synthetic import sparse_skewed_count_tensor
 from repro.experiments.weak_scaling import measured_multiprocess_sweep
 from repro.grid.balance import make_partition
 from repro.grid.processor_grid import ProcessorGrid
+from repro.machine.calibrate import calibrate_machine_params
 
 try:  # pytest-only flag; absent when run as a plain script
     from conftest import BENCH_TINY
@@ -42,12 +49,18 @@ FULL_CONFIG = {
     "imbalance_grid": (4, 4, 4),
     "mp_nnz_local": 4000, "mp_s_local": 24, "mp_rank": 8,
     "mp_grid": (1, 2, 2), "mp_sweeps": 4,
+    "cal_grids": ((1, 1, 1), (1, 1, 2), (1, 2, 2)),
+    "cal_sizes": ((2000, 16), (4000, 24)),
+    "cal_sweeps": 3,
 }
 TINY_CONFIG = {
     "shape": (40, 40, 40), "density": 0.01, "alpha": 1.1,
     "imbalance_grid": (4, 4, 4),
     "mp_nnz_local": 500, "mp_s_local": 10, "mp_rank": 4,
     "mp_grid": (1, 2, 2), "mp_sweeps": 3,
+    "cal_grids": ((1, 1, 1), (1, 1, 2)),
+    "cal_sizes": ((500, 10),),
+    "cal_sweeps": 2,
 }
 
 
@@ -68,17 +81,32 @@ def run_baseline(config: dict) -> dict:
         "imbalance_pct_joint": int(round(100 * reports["joint"].imbalance)),
     }
 
+    cal = calibrate_machine_params(
+        rank=config["mp_rank"],
+        grids=tuple(tuple(g) for g in config["cal_grids"]),
+        sizes=tuple(tuple(s) for s in config["cal_sizes"]),
+        n_sweeps=config["cal_sweeps"],
+        seed=0, alpha=config["alpha"], partitioner="joint",
+    )
     measured = measured_multiprocess_sweep(
         config["mp_nnz_local"], config["mp_s_local"], config["mp_rank"],
         tuple(config["mp_grid"]), n_sweeps=config["mp_sweeps"],
         seed=0, alpha=config["alpha"], partitioner="joint",
+        params=cal.params,
     )
+    ratio = measured.get("measured_over_modeled", float("inf"))
+    tracked["mp_calibrated_ratio_le_3"] = int(ratio <= 3.0)
     info = {
         "mp_grid": measured["grid"],
         "mp_partition_imbalance": measured["imbalance"],
         "mp_measured_per_sweep_s": measured["measured_per_sweep_seconds"],
         "mp_modeled_per_sweep_s": measured["modeled_per_sweep_seconds"],
-        "mp_measured_over_modeled": measured["measured_over_modeled"],
+        "mp_measured_over_modeled": ratio,
+        "cal_alpha_hop": cal.params.alpha_hop,
+        "cal_beta_hop": cal.params.beta_hop,
+        "cal_max_ratio_before": cal.max_ratio_before,
+        "cal_max_ratio_after": cal.max_ratio_after,
+        "cal_n_observations": len(cal.observations),
     }
     return {
         "name": "scaling_baseline",
@@ -108,6 +136,16 @@ def test_scaling_baseline(report):
     # the measured multi-process run actually ran and produced finite timings
     assert data["info"]["mp_measured_per_sweep_s"] > 0.0
     assert data["info"]["mp_modeled_per_sweep_s"] > 0.0
+    # calibration's whole contract: fitting the hop terms never widens the
+    # measured/modeled gap on the points it was fitted on
+    assert (data["info"]["cal_max_ratio_after"]
+            <= data["info"]["cal_max_ratio_before"] + 1e-9)
+    assert data["info"]["cal_alpha_hop"] >= 0.0
+    assert data["info"]["cal_beta_hop"] >= 0.0
+    if not BENCH_TINY:
+        # the headline gap-closing claim (issue: 53.8x -> <= 3x at P=4);
+        # wall-clock dependent, so only asserted on the full configuration
+        assert data["tracked"]["mp_calibrated_ratio_le_3"] == 1
     report("bench_scaling_baseline", format_report(data))
 
 

@@ -60,13 +60,18 @@ SEGMENT_PREFIX = "repro-mp-"
 def leaked_segments() -> list[str]:
     """Names of live ``repro-mp-*`` shared-memory segments on this host.
 
-    Uses the ``/dev/shm`` backing directory (POSIX); returns ``[]`` where that
-    directory does not exist.  A non-empty result after a run means a segment
-    was not unlinked.
+    Uses the ``/dev/shm`` backing directory (Linux); a non-empty result after
+    a run means a segment was not unlinked.  On platforms without that
+    directory (macOS, Windows) the audit has nothing to scan, and an empty
+    list would be *falsely* clean — raise instead so callers and test
+    harnesses know the check did not run.
     """
     shm_dir = "/dev/shm"
     if not os.path.isdir(shm_dir):
-        return []
+        raise RuntimeError(
+            "shared-memory segment audit is unsupported on this platform: "
+            f"no {shm_dir} backing directory to scan"
+        )
     return sorted(n for n in os.listdir(shm_dir) if n.startswith(SEGMENT_PREFIX))
 
 
@@ -155,6 +160,10 @@ class _WorkerState:
         )
         self.checkpoint: list[np.ndarray] | None = None
         self.operators = None
+        # lazily attached views of *other* ranks' output panels, keyed by
+        # segment name (worker-side reduction trees re-use the same peers
+        # every sweep, so the attachments are cached until close())
+        self._peer_shms: dict[str, object] = {}
 
     def apply_factor(self, mode: int) -> None:
         """Ingest the published panel for ``mode`` into the local engine."""
@@ -215,6 +224,26 @@ class _WorkerState:
         self.out_view[:rows] = result
         return rows
 
+    def reduce_add(self, src_name: str, rows: int) -> None:
+        """Accumulate a peer rank's output panel into this rank's panel.
+
+        One edge of the worker-side binomial reduction tree: attach the
+        source rank's output segment (cached across sweeps) and add its first
+        ``rows`` rows in place.  Only wall-clock is recorded — the reduction
+        arithmetic replaces master-side copies the model already prices as
+        collective communication, so charging flops here would double-count
+        and change modeled times between collectives modes.
+        """
+        t0 = time.perf_counter()
+        shm = self._peer_shms.get(src_name)
+        if shm is None:
+            shm = _attach_segment(src_name)
+            self._peer_shms[src_name] = shm
+        src = np.ndarray((int(rows), self.rank_r), dtype=np.float64,
+                         buffer=shm.buf)
+        self.out_view[:rows] += src
+        self.tracker.add_seconds("reduce", time.perf_counter() - t0)
+
     def cost_delta(self, before: CostTracker) -> dict:
         return self.tracker.diff_since(before).as_dict()
 
@@ -224,19 +253,30 @@ class _WorkerState:
         self.checkpoint = None
         self.panel_views = []
         self.out_view = None
-        for shm in self._shms:
+        for shm in (*self._shms, *self._peer_shms.values()):
             try:
                 shm.close()
             except BufferError:  # pragma: no cover - a stray view kept the buffer
                 pass
         self._shms = []
+        self._peer_shms = {}
 
 
 def _worker_main(rank: int, cmd_queue, res_queue) -> None:
-    """Worker loop: serve commands until ``exit`` (runs in the child process)."""
+    """Worker loop: serve commands until ``exit`` (runs in the child process).
+
+    Time spent blocked on the command queue between kernel commands is
+    accumulated into ``pending_wait`` and attributed to the next *timed*
+    command's cost delta under the ``queue_wait`` category — the per-rank
+    observability input for the process-hop calibration (kernel vs queue-wait
+    vs publish, see :mod:`repro.machine.calibrate`).
+    """
     state: _WorkerState | None = None
+    pending_wait = 0.0
     while True:
+        t_wait = time.perf_counter()
         msg = cmd_queue.get()
+        pending_wait += time.perf_counter() - t_wait
         tag = msg[0]
         if tag == "exit":
             if state is not None:
@@ -248,6 +288,7 @@ def _worker_main(rank: int, cmd_queue, res_queue) -> None:
                 if state is not None:
                     state.close()
                 state = _WorkerState(msg[1])
+                pending_wait = 0.0
                 res_queue.put(("init", rank))
             elif tag == "drop":
                 if state is not None:
@@ -264,15 +305,28 @@ def _worker_main(rank: int, cmd_queue, res_queue) -> None:
             elif tag == "mttkrp":
                 _, mode = msg
                 before = state.tracker.snapshot()
+                state.tracker.add_seconds("queue_wait", pending_wait)
+                pending_wait = 0.0
                 rows = state.mttkrp(mode)
                 res_queue.put(("mttkrp", mode, rows, state.cost_delta(before)))
+            elif tag == "reduce_add":
+                _, src_name, rows = msg
+                before = state.tracker.snapshot()
+                state.tracker.add_seconds("queue_wait", pending_wait)
+                pending_wait = 0.0
+                state.reduce_add(src_name, rows)
+                res_queue.put(("reduce_add", rows, state.cost_delta(before)))
             elif tag == "pp_build":
                 before = state.tracker.snapshot()
+                state.tracker.add_seconds("queue_wait", pending_wait)
+                pending_wait = 0.0
                 state.pp_build()
                 res_queue.put(("pp_build", state.cost_delta(before)))
             elif tag == "pp_contrib":
                 _, mode, accumulator, group_size = msg
                 before = state.tracker.snapshot()
+                state.tracker.add_seconds("queue_wait", pending_wait)
+                pending_wait = 0.0
                 rows = state.pp_contrib(mode, accumulator, group_size)
                 res_queue.put(("pp_contrib", mode, rows, state.cost_delta(before)))
             else:
@@ -373,6 +427,7 @@ class ProcessMachine(SimulatedMachine):
         self._session = uuid.uuid4().hex[:10]
         self._seg_counter = 0
         self._closed = False
+        self._failed: str | None = None
         ctx = mp.get_context(start_method)
         self._segments: dict[str, object] = {}
         self._cmd_queues = [ctx.Queue() for _ in range(self.n_ranks)]
@@ -398,6 +453,19 @@ class ProcessMachine(SimulatedMachine):
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def failed(self) -> str | None:
+        """Why the command protocol is no longer trusted (``None`` while healthy).
+
+        Set the first time :meth:`wait` sees a worker error reply, a protocol
+        mismatch or a timeout: all three leave replies potentially undrained
+        in a result queue, so a later command could read a *stale* reply as
+        its own answer.  A failed machine refuses further commands — create a
+        fresh one (worker death alone does not set this: the dead rank's
+        queue is empty and the error is not a desync).
+        """
+        return self._failed
 
     def worker_pid(self, rank: int) -> int | None:
         """OS pid of the worker for ``rank`` (fault-injection hooks)."""
@@ -443,6 +511,11 @@ class ProcessMachine(SimulatedMachine):
         """Post one command to ``rank``'s FIFO queue (non-blocking)."""
         if self._closed:
             raise RuntimeError("ProcessMachine is closed")
+        if self._failed is not None:
+            raise RuntimeError(
+                f"ProcessMachine is failed ({self._failed}); result queues "
+                f"may hold stale replies — create a fresh machine"
+            )
         worker = self._workers[rank]
         if not worker.is_alive():
             raise RuntimeError(
@@ -456,8 +529,17 @@ class ProcessMachine(SimulatedMachine):
 
         Raises a ``RuntimeError`` naming the rank if the worker reports an
         error, dies (checked every 0.1 s, so a SIGKILL mid-sweep surfaces
-        promptly), or exceeds :attr:`timeout`.
+        promptly), or exceeds :attr:`timeout`.  Error replies, protocol
+        mismatches and timeouts additionally mark the whole machine
+        :attr:`failed`: each leaves the command/reply streams desynced (later
+        replies may still be in flight), so reusing the machine could hand a
+        stale reply to the next command.
         """
+        if self._failed is not None:
+            raise RuntimeError(
+                f"ProcessMachine is failed ({self._failed}); result queues "
+                f"may hold stale replies — create a fresh machine"
+            )
         deadline = time.monotonic() + self.timeout
         res_queue = self._res_queues[rank]
         while True:
@@ -471,6 +553,7 @@ class ProcessMachine(SimulatedMachine):
                         f"{expected!r} (exitcode {worker.exitcode})"
                     ) from None
                 if time.monotonic() > deadline:
+                    self._failed = f"rank {rank} timed out on {expected!r}"
                     raise RuntimeError(
                         f"worker rank {rank} timed out after "
                         f"{self.timeout:.1f}s waiting for {expected!r}"
@@ -478,10 +561,14 @@ class ProcessMachine(SimulatedMachine):
                 continue
             if msg[0] == "error":
                 _, cmd, err, tb = msg
+                self._failed = f"rank {rank} error during {cmd!r}"
                 raise RuntimeError(
                     f"worker rank {rank} failed during {cmd!r}: {err}\n{tb}"
                 )
             if msg[0] != expected:
+                self._failed = (
+                    f"rank {rank} protocol mismatch ({expected!r} vs {msg[0]!r})"
+                )
                 raise RuntimeError(
                     f"worker rank {rank} protocol mismatch: expected "
                     f"{expected!r}, got {msg[0]!r}"

@@ -210,6 +210,12 @@ class ParallelOptions(ALSOptions):
     #: rank with shared-memory factor panels).  Ignored when an explicit
     #: ``machine=`` is passed to the driver.
     execution: str = "simulated"
+    #: who sums the per-rank MTTKRP panels: ``"master"`` (default — the
+    #: master-driven collectives, bit-identical to simulated execution) or
+    #: ``"worker"`` (workers reduce among themselves through shared memory in
+    #: a binomial tree; requires a process machine, matches the single-rank
+    #: oracle at 1e-10 and is deterministic run to run).
+    collectives: str = "master"
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -225,6 +231,12 @@ class ParallelOptions(ALSOptions):
             raise ValueError(
                 "execution must be 'simulated' or 'process', "
                 f"got {self.execution!r}"
+            )
+        self.collectives = str(self.collectives).lower().strip()
+        if self.collectives not in ("master", "worker"):
+            raise ValueError(
+                "collectives must be 'master' or 'worker', "
+                f"got {self.collectives!r}"
             )
         self.update = str(self.update).lower().strip()
         if self.update == "mu":

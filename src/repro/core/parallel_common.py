@@ -27,6 +27,7 @@ from repro.distributed.dist_tensor import DistributedTensor
 from repro.distributed.sparse import DistSparseTensor
 from repro.grid.distribution import split_rows_evenly
 from repro.grid.processor_grid import ProcessorGrid
+from repro.machine.collective_costs import reduce_scatter_cost
 from repro.machine.params import MachineParams
 from repro.tensor.products import hadamard_all_but
 from repro.trees.base import MTTKRPProvider
@@ -58,6 +59,9 @@ class ParallelState:
     rank: int
     distributed_solve: bool = True
     solve_latency_messages: int = 2
+    #: who sums the per-rank MTTKRP panels: ``"master"`` (default) or
+    #: ``"worker"`` (shared-memory reduction tree; process execution only)
+    collectives: str = "master"
     extra: dict = field(default_factory=dict)
     #: the :class:`~repro.distributed.runtime.ProcessRuntime` behind the
     #: providers when executing on a ProcessMachine (``None`` when simulated)
@@ -142,6 +146,7 @@ def setup_parallel_state(
     execution: str = "simulated",
     overlap: bool = True,
     worker_timeout: float | None = None,
+    collectives: str = "master",
 ) -> ParallelState:
     """Distribute the tensor and factors and build the per-rank MTTKRP engines.
 
@@ -165,7 +170,19 @@ def setup_parallel_state(
     created here (see :class:`~repro.comm.procs.ProcessMachine`).  Callers
     must ``state.close()`` when done so worker state and shared segments are
     reclaimed (the drivers do this in a ``finally``).
+
+    ``collectives`` selects who sums the per-rank MTTKRP panels:
+    ``"master"`` (default, bit-identical to simulated execution) or
+    ``"worker"`` — the workers of a process machine reduce among themselves
+    through shared memory (binomial tree over the output panels, barriered by
+    the command queues), and the master reads one summed panel per slice
+    group instead of every rank's.  ``"worker"`` requires process execution.
     """
+    collectives = str(collectives or "master").lower().strip()
+    if collectives not in ("master", "worker"):
+        raise ValueError(
+            f"collectives must be 'master' or 'worker', got {collectives!r}"
+        )
     if not isinstance(grid, ProcessorGrid):
         grid = ProcessorGrid(grid)
     if isinstance(tensor, (DistributedTensor, DistSparseTensor)):
@@ -244,6 +261,11 @@ def setup_parallel_state(
             raise
         providers: Dict[int, MTTKRPProvider] = runtime.providers
     else:
+        if collectives == "worker":
+            raise ValueError(
+                "collectives='worker' needs real workers to reduce in — "
+                "use execution='process' or pass a ProcessMachine"
+            )
         providers = {}
         for proc in grid.ranks():
             local_factors = [dist_factors[m].local_block_for(proc)
@@ -267,6 +289,7 @@ def setup_parallel_state(
         norm_t=dist_tensor.norm(),
         rank=rank,
         distributed_solve=distributed_solve,
+        collectives=collectives,
         runtime=runtime,
         owns_machine=owns_machine,
     )
@@ -389,6 +412,7 @@ def parallel_mode_update(
     mode: int,
     contributions: Dict[int, np.ndarray] | None = None,
     rule=None,
+    panel_rows: Dict[int, int] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One mode update of Algorithm 3 (lines 12-18).
 
@@ -408,6 +432,17 @@ def parallel_mode_update(
         rank's reduce-scattered row chunk (default: the exact least-squares
         solve).  Rules are row-separable, so the parallel iterates match the
         sequential driver running the same rule.
+    panel_rows:
+        Per-rank row counts of results already sitting in the workers' shared
+        output panels (worker-side collectives only; the PP driver passes
+        these after ``pp_contrib`` so no panel ever crosses to the master
+        before the reduction tree).
+
+    Under ``state.collectives == "worker"`` the per-rank panels never travel
+    to the master individually: the workers sum them in shared memory
+    (:meth:`~repro.distributed.runtime.ProcessRuntime.reduce_blocks`) and the
+    master reads one summed block per slice group, charging the same modeled
+    Reduce-Scatter cost as the master-driven path.
 
     Returns
     -------
@@ -419,7 +454,28 @@ def parallel_mode_update(
     machine = state.machine
     gamma = compute_gamma(state, mode)
 
-    if contributions is None:
+    use_worker = (
+        state.collectives == "worker"
+        and state.runtime is not None
+        and contributions is None
+    )
+    reduced_panels: Dict[int, np.ndarray] = {}
+    slice_groups = grid.slice_groups(mode)
+    if use_worker:
+        if panel_rows is None:
+            # submit-all-then-collect, but leave every result in its shared
+            # panel: replies carry only the row count
+            for proc in grid.ranks():
+                state.providers[proc].mttkrp_submit(mode)
+            panel_rows = {
+                proc: state.providers[proc].mttkrp_result_rows()
+                for proc in grid.ranks()
+            }
+        rows_by_group = [panel_rows[group[0]] for group in slice_groups]
+        reduced_panels = state.runtime.reduce_blocks(
+            [list(group) for group in slice_groups], rows_by_group
+        )
+    elif contributions is None:
         # submit-all-then-collect: on a ProcessMachine every rank's local
         # MTTKRP runs concurrently in its worker; simulated providers compute
         # inline (hasattr keeps the sequential path allocation-free)
@@ -435,14 +491,27 @@ def parallel_mode_update(
         for proc in pending:
             contributions[proc] = state.providers[proc].mttkrp_result()
 
-    slice_groups = grid.slice_groups(mode)
     new_blocks: list[np.ndarray] = []
     summed_blocks: list[np.ndarray] = []
     gram_contribs: Dict[int, np.ndarray] = {}
     for block_index, group in enumerate(slice_groups):
-        group_contribs = {proc: contributions[proc] for proc in group}
-        chunks = machine.reduce_scatter_rows(group_contribs, group)
-        summed_blocks.append(np.concatenate([chunks[proc] for proc in group], axis=0))
+        if use_worker:
+            summed = reduced_panels[block_index]
+            machine.charge_collective(
+                group, *reduce_scatter_cost(summed.size, len(group))
+            )
+            ranges = split_rows_evenly(summed.shape[0], len(group))
+            chunks = {
+                proc: summed[start:stop].copy()
+                for proc, (start, stop) in zip(group, ranges)
+            }
+            summed_blocks.append(summed)
+        else:
+            group_contribs = {proc: contributions[proc] for proc in group}
+            chunks = machine.reduce_scatter_rows(group_contribs, group)
+            summed_blocks.append(
+                np.concatenate([chunks[proc] for proc in group], axis=0)
+            )
         solved_chunks = _solve_chunks(
             state, gamma, chunks, group, rule=rule,
             factor_block=state.dist_factors[mode].local_block_for(group[0]),

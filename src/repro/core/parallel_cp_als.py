@@ -56,6 +56,7 @@ def parallel_cp_als(
     update: str | None = None,
     kernel: str | None = None,
     execution: str | None = None,
+    collectives: str | None = None,
     options: ParallelOptions | None = None,
 ) -> ParallelALSResult:
     """Distributed-memory CP-ALS (Algorithm 3) executed on the simulated machine.
@@ -99,6 +100,11 @@ def parallel_cp_als(
         bit-identical logical ranks) or ``"process"`` (spawned workers with
         shared-memory factor panels; created, used and torn down within this
         call).  Ignored when ``machine=`` is given.
+    collectives:
+        ``"master"`` (default — master-driven reductions, bit-identical to
+        simulated execution) or ``"worker"`` (process execution only: workers
+        sum the MTTKRP panels among themselves through shared memory; matches
+        the single-rank result at 1e-10 and is deterministic run to run).
     options:
         A :class:`~repro.core.options.ParallelOptions` bundle carrying
         ``rank``, ``grid``, ``n_sweeps``, ``tol``, ``mttkrp``, ``seed``,
@@ -118,7 +124,7 @@ def parallel_cp_als(
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "mttkrp": mttkrp,
          "seed": seed, "distributed_solve": distributed_solve,
          "partitioner": partitioner, "update": update, "kernel": kernel,
-         "execution": execution,
+         "execution": execution, "collectives": collectives,
          "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
     )
     rank, n_sweeps, tol, mttkrp, seed = (
@@ -138,6 +144,7 @@ def parallel_cp_als(
         max_cache_bytes=max_cache_bytes,
         partitioner=partitioner, partition_seed=partition_seed,
         kernel=opts.kernel, execution=opts.execution,
+        collectives=opts.collectives,
     )
     machine = state.machine
     order = state.order
@@ -216,6 +223,7 @@ def parallel_cp_als(
                 getattr(state.dist_tensor, "partition", None), "name", None
             ),
             "execution": type(state.machine).__name__,
+            "collectives": state.collectives,
         },
         grid_dims=tuple(state.grid.dims),
         per_sweep_modeled_seconds=per_sweep_modeled,

@@ -89,13 +89,19 @@ def _pp_contributions(
     grams: list[np.ndarray],
     delta_grams: list[np.ndarray],
     mode: int,
-) -> Dict[int, np.ndarray]:
+) -> tuple[Dict[int, np.ndarray] | None, Dict[int, int] | None]:
     """Per-rank approximated MTTKRP contributions for one mode update.
 
     Each rank contributes its local ``M_p^(mode) + sum_i U^(mode,i)`` plus its
     share of the (global, cheap) second-order correction ``V^(mode)``, so that
     summing the contributions over the mode's processor slice reproduces
     Eq. (5) exactly.
+
+    Returns ``(contributions, panel_rows)``: normally the per-rank arrays and
+    ``None``.  Under worker-side collectives the results stay in the workers'
+    shared output panels — the return is ``(None, per-rank row counts)`` and
+    :func:`~repro.core.parallel_common.parallel_mode_update` reduces the
+    panels in place.
     """
     machine = state.machine
     order = state.order
@@ -128,6 +134,17 @@ def _pp_contributions(
 
     slice_groups = state.grid.slice_groups(mode)
     group_size = len(slice_groups[0]) if slice_groups else 1
+
+    if state.collectives == "worker" and state.runtime is not None:
+        # worker-side collectives: results stay in the shared panels for the
+        # reduction tree, only row counts come back
+        for proc in state.grid.ranks():
+            state.providers[proc].pp_contrib_submit(mode, accumulator, group_size)
+        panel_rows = {
+            proc: state.providers[proc].pp_contrib_result_rows()
+            for proc in state.grid.ranks()
+        }
+        return None, panel_rows
 
     contributions: Dict[int, np.ndarray] = {}
     remote = [proc for proc in state.grid.ranks()
@@ -169,7 +186,7 @@ def _pp_contributions(
         tracker.add_flops("others", 2 * factor_block.shape[0] * rank_r * rank_r // max(group_size, 1))
         tracker.add_seconds("others", elapsed)
         contributions[proc] = local + v_block / max(group_size, 1)
-    return contributions
+    return contributions, None
 
 
 def parallel_pp_cp_als(
@@ -193,6 +210,7 @@ def parallel_pp_cp_als(
     update: str | None = None,
     kernel: str | None = None,
     execution: str | None = None,
+    collectives: str | None = None,
     options: ParallelPPOptions | None = None,
 ) -> ParallelALSResult:
     """Parallel PP-CP-ALS (Algorithm 4) on the simulated machine.
@@ -213,7 +231,7 @@ def parallel_pp_cp_als(
         {"rank": rank, "n_sweeps": n_sweeps, "tol": tol, "pp_tol": pp_tol,
          "mttkrp": mttkrp, "seed": seed, "distributed_solve": distributed_solve,
          "partitioner": partitioner, "update": update, "kernel": kernel,
-         "execution": execution,
+         "execution": execution, "collectives": collectives,
          "max_pp_sweeps_per_phase": max_pp_sweeps_per_phase,
          "grid": None if grid is None else tuple(getattr(grid, "dims", grid))},
     )
@@ -239,6 +257,7 @@ def parallel_pp_cp_als(
         max_cache_bytes=max_cache_bytes,
         partitioner=partitioner, partition_seed=partition_seed,
         kernel=opts.kernel, execution=opts.execution,
+        collectives=opts.collectives,
     )
     machine = state.machine
     order = state.order
@@ -311,11 +330,14 @@ def parallel_pp_cp_als(
                     snapshots = machine.snapshot_costs()
                     last_summed = None
                     for mode in range(order):
-                        contributions = _pp_contributions(
+                        contributions, panel_rows = _pp_contributions(
                             state, local_operators, delta_factors,
                             state.grams, delta_grams, mode,
                         )
-                        _, summed = parallel_mode_update(state, mode, contributions=contributions)
+                        _, summed = parallel_mode_update(
+                            state, mode, contributions=contributions,
+                            panel_rows=panel_rows,
+                        )
                         last_summed = summed
                         # refresh the distributed step and its Gram products
                         for block_index in range(state.grid.dims[mode]):
@@ -408,6 +430,7 @@ def parallel_pp_cp_als(
             "mttkrp": mttkrp,
             "grid": tuple(state.grid.dims),
             "distributed_solve": distributed_solve,
+            "collectives": state.collectives,
         },
         grid_dims=tuple(state.grid.dims),
         per_sweep_modeled_seconds=per_sweep_modeled,

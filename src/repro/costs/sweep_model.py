@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.costs.mttkrp_costs import mttkrp_costs_for
 from repro.grid.distribution import padded_block_size
-from repro.machine.collective_costs import als_sweep_collective_cost
+from repro.machine.collective_costs import als_sweep_collective_cost, process_hop_cost
 from repro.machine.params import MachineParams
 
 __all__ = [
@@ -52,6 +52,8 @@ class SweepCostBreakdown:
     solve_seconds: float
     others_seconds: float
     communication_seconds: float
+    #: process-hop (IPC) seconds; zero except under ``execution="process"``
+    hop_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -62,10 +64,11 @@ class SweepCostBreakdown:
             + self.solve_seconds
             + self.others_seconds
             + self.communication_seconds
+            + self.hop_seconds
         )
 
     def category_seconds(self) -> dict[str, float]:
-        return {
+        categories = {
             "ttm": self.ttm_seconds,
             "mttv": self.mttv_seconds,
             "hadamard": self.hadamard_seconds,
@@ -73,6 +76,9 @@ class SweepCostBreakdown:
             "others": self.others_seconds,
             "comm": self.communication_seconds,
         }
+        if self.hop_seconds != 0.0:
+            categories["hop"] = self.hop_seconds
+        return categories
 
 
 def sweep_time_model(
@@ -186,6 +192,8 @@ def sparse_sweep_time_model(
     fiber_ratio: float = 0.5,
     block_rows: tuple[int, ...] | None = None,
     params: MachineParams | None = None,
+    execution: str = "simulated",
+    collectives: str = "master",
 ) -> SweepCostBreakdown:
     """Modeled per-sweep time of *sparse* distributed CP-ALS.
 
@@ -218,8 +226,21 @@ def sparse_sweep_time_model(
         ``ceil(s_i / I_i)`` (pass a partition's
         :attr:`~repro.grid.balance.TensorPartition.padded_extents` to charge
         the padding a skewed partition induces).
+    execution:
+        ``"simulated"`` (default: the pure BSP model) or ``"process"``: also
+        charge the per-sweep :func:`process_hop_cost` of real spawned workers
+        at ``params.alpha_hop`` / ``params.beta_hop`` (reported as
+        :attr:`SweepCostBreakdown.hop_seconds`).
+    collectives:
+        ``"master"`` or ``"worker"`` — which process-layer reduction strategy
+        to charge for; only meaningful with ``execution="process"``.
     """
     method = method.lower().strip()
+    execution = execution.lower().strip()
+    if execution not in ("simulated", "process"):
+        raise ValueError(
+            f"unknown execution mode {execution!r}; use 'simulated' or 'process'"
+        )
     if method not in SPARSE_MODELED_METHODS:
         raise ValueError(
             f"unknown sparse method {method!r}; available: {SPARSE_MODELED_METHODS}"
@@ -281,6 +302,17 @@ def sparse_sweep_time_model(
     messages, words = als_sweep_collective_cost(shape, grid_dims, rank, block_rows)
     communication_seconds = params.alpha * messages + params.beta * words
 
+    hop_seconds = 0.0
+    if execution == "process":
+        hop_messages, hop_words = process_hop_cost(
+            shape, grid_dims, rank, collectives=collectives, block_rows=block_rows
+        )
+        hop_seconds = params.alpha_hop * hop_messages + params.beta_hop * hop_words
+    elif collectives.lower().strip() not in ("master", "worker"):
+        raise ValueError(
+            f"unknown collectives mode {collectives!r}; use 'master' or 'worker'"
+        )
+
     return SweepCostBreakdown(
         method=f"sparse-{method}",
         ttm_seconds=ttm_seconds,
@@ -289,4 +321,5 @@ def sparse_sweep_time_model(
         solve_seconds=solve_seconds,
         others_seconds=others_seconds,
         communication_seconds=communication_seconds,
+        hop_seconds=hop_seconds,
     )

@@ -26,6 +26,8 @@ checkpoint-based protocol (see :meth:`_WorkerState.pp_build`): only the tiny
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.backend import is_sparse_tensor
@@ -107,6 +109,14 @@ class ProcessRuntime:
                 self._panels[(mode, block_index)] = (seg.name, view)
                 self._published[(mode, block_index)] = block
 
+        # ranks sharing each (mode, block) panel — publish() charges its copy
+        # time to exactly these ranks' trackers
+        self._block_ranks: dict[tuple[int, int], list[int]] = {}
+        for proc in grid.ranks():
+            coord = grid.coordinate(proc)
+            for m in range(order):
+                self._block_ranks.setdefault((m, coord[m]), []).append(proc)
+
         # per-rank output panels + init specs
         max_rows = max(df.block_rows for df in dist_factors)
         self._outputs: dict[int, tuple[str, np.ndarray]] = {}
@@ -165,11 +175,57 @@ class ProcessRuntime:
         if self._published.get(key) is array:
             return
         _, view = self._panels[key]
+        t0 = time.perf_counter()
         view[:] = array
+        elapsed = time.perf_counter() - t0
         self._published[key] = array
+        for proc in self._block_ranks[key]:
+            self.machine.tracker(proc).add_seconds("publish", elapsed)
 
     def output_view(self, proc: int) -> np.ndarray:
         return self._outputs[proc][1]
+
+    # -- worker-side collectives ----------------------------------------------
+    def reduce_blocks(
+        self,
+        groups: list[list[int]],
+        rows_by_group: list[int],
+    ) -> dict[int, np.ndarray]:
+        """Sum output panels inside each slice group with a worker-side tree.
+
+        Each group runs a binomial (recursive-halving-style) reduction over
+        the ranks' shared output panels: in round ``offset`` the worker at
+        ``group[idx]`` adds ``group[idx + offset]``'s panel into its own
+        (:meth:`repro.comm.procs._WorkerState.reduce_add`), leaving the group
+        sum in ``group[0]``'s panel after ``ceil(log2(len(group)))`` rounds.
+        Rounds run in *lockstep across all groups* — every edge of a round is
+        posted before any ack is awaited, so the command-queue barrier costs
+        one queue round-trip per round, not per edge.  Requires every rank's
+        kernel result to already be in its output panel (the caller collects
+        all row counts first).
+
+        Returns ``{group_index: summed panel copy}``; the master reads one
+        panel per group instead of all ``P``.
+        """
+        machine = self.machine
+        offset = 1
+        max_len = max((len(g) for g in groups), default=0)
+        while offset < max_len:
+            wave: list[int] = []
+            for gi, group in enumerate(groups):
+                rows = int(rows_by_group[gi])
+                for idx in range(0, len(group) - offset, 2 * offset):
+                    dst, src = group[idx], group[idx + offset]
+                    machine.send(dst, ("reduce_add", self._outputs[src][0], rows))
+                    wave.append(dst)
+            for dst in wave:
+                msg = machine.wait(dst, "reduce_add")
+                machine.merge_cost_payload(dst, msg[2])
+            offset *= 2
+        return {
+            gi: self.output_view(group[0])[: int(rows_by_group[gi])].copy()
+            for gi, group in enumerate(groups)
+        }
 
     # -- lifecycle -------------------------------------------------------------
     def detach(self) -> None:
@@ -267,6 +323,18 @@ class RemoteProvider:
         self.machine.merge_cost_payload(self.proc, costs)
         return self.runtime.output_view(self.proc)[:rows].copy()
 
+    def mttkrp_result_rows(self) -> int:
+        """Collect a pending MTTKRP but leave the panel in shared memory.
+
+        Worker-side collectives reduce the panels in place, so the master
+        only needs the row count here — the one copy happens after the
+        reduction tree, per *group* instead of per rank.
+        """
+        msg = self._collect("mttkrp")
+        _, _mode, rows, costs = msg
+        self.machine.merge_cost_payload(self.proc, costs)
+        return int(rows)
+
     def mttkrp(self, mode: int) -> np.ndarray:
         self.mttkrp_submit(mode)
         return self.mttkrp_result()
@@ -292,6 +360,13 @@ class RemoteProvider:
         _, _mode, rows, costs = msg
         self.machine.merge_cost_payload(self.proc, costs)
         return self.runtime.output_view(self.proc)[:rows].copy()
+
+    def pp_contrib_result_rows(self) -> int:
+        """PP analogue of :meth:`mttkrp_result_rows` (no panel copy)."""
+        msg = self._collect("pp_contrib")
+        _, _mode, rows, costs = msg
+        self.machine.merge_cost_payload(self.proc, costs)
+        return int(rows)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RemoteProvider(rank={self.proc}, engine={self.engine_name!r})"

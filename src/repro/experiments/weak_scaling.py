@@ -33,6 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.initialization import init_factors
 from repro.core.parallel_cp_als import parallel_cp_als
 from repro.core.parallel_pp_cp_als import parallel_pp_cp_als
 from repro.costs.sweep_model import (
@@ -148,6 +149,10 @@ def executed_weak_scaling(
     per-sweep times are taken from the corresponding sweep types of a
     :func:`~repro.core.parallel_pp_cp_als.parallel_pp_cp_als` run with a
     permissive PP tolerance so both phases are exercised.
+
+    Every method of a grid starts from the *same* shared initial factors
+    (seeded per grid), so the per-method sweep times are compared on
+    identical iterates rather than on whatever each driver would seed itself.
     """
     params = params if params is not None else MachineParams.knl_like()
     points: list[WeakScalingPoint] = []
@@ -157,7 +162,10 @@ def executed_weak_scaling(
             raise ValueError(f"grid {grid} does not match order {order}")
         shape = tuple(s_local * d for d in grid)
         tensor = random_low_rank_tensor(shape, rank=max(rank // 2, 2), noise=0.05, seed=seed)
-        initial = None
+        # one shared initialization per grid — matches what the drivers would
+        # generate themselves (same seed and method), but materialized here so
+        # every method provably starts from identical factors
+        initial = init_factors(shape, rank, seed=seed, method="uniform")
 
         def _mean_modeled(result, sweep_type: str) -> tuple[float, dict]:
             values = [s for s in result.sweeps if s.sweep_type == sweep_type]
@@ -298,6 +306,7 @@ def measured_multiprocess_sweep(
     partitioner: str = "joint",
     params: MachineParams | None = None,
     method: str = "dt",
+    collectives: str = "master",
 ) -> dict:
     """Measured multi-process sweep wall-clock vs the sparse sweep model.
 
@@ -308,16 +317,27 @@ def measured_multiprocess_sweep(
     per-sweep wall-clock — the first sweep is dropped as warm-up (BLAS/cache
     effects and the workers' first-touch of the shared panels) — next to the
     :func:`~repro.costs.sweep_model.sparse_sweep_time_model` prediction at the
-    partition's *actual* measured imbalance.  ``params`` defaults to
-    :meth:`~repro.machine.params.MachineParams.container_like` because the
-    comparison is against this container, not the paper's KNL nodes.
+    partition's *actual* measured imbalance, including its process-hop terms
+    (``execution="process"``, calibrated through ``params.alpha_hop`` /
+    ``params.beta_hop``; see :mod:`repro.machine.calibrate`).  ``params``
+    defaults to :meth:`~repro.machine.params.MachineParams.container_like`
+    because the comparison is against this container, not the paper's KNL
+    nodes.  ``collectives`` selects master-driven or worker-side reductions
+    and is threaded into both the run and the hop model.
+
+    The partition is computed once and reused for both the imbalance report
+    and the distributed tensor the run executes on.
 
     Returns a plain dict (ready for benchmark JSON): measured and modeled
-    per-sweep seconds, their ratio, the partition imbalance, and the workload
-    description.
+    per-sweep seconds, the hop counts, the partition imbalance and the
+    workload description.  ``measured_over_modeled`` is only present when the
+    modeled time is positive — a zero prediction (e.g. all-free cost
+    parameters) would otherwise put a non-finite ratio into JSON reports.
     """
+    from repro.distributed.sparse import DistSparseTensor
     from repro.grid.balance import make_partition
     from repro.grid.processor_grid import ProcessorGrid
+    from repro.machine.collective_costs import process_hop_cost
 
     grid = tuple(int(d) for d in grid)
     params = params if params is not None else MachineParams.container_like()
@@ -326,33 +346,44 @@ def measured_multiprocess_sweep(
     size = int(np.prod(shape, dtype=np.int64))
     density = min(1.0, nnz_local * n_procs / size)
     tensor = sparse_skewed_count_tensor(shape, density, alpha=alpha, seed=seed)
-    report = make_partition(
-        partitioner, tensor, ProcessorGrid(grid), seed=seed
-    ).report(tensor)
+    pgrid = ProcessorGrid(grid)
+    partition = make_partition(partitioner, tensor, pgrid, seed=seed)
+    report = partition.report(tensor)
+    dist = DistSparseTensor.from_coo(tensor, pgrid, partitioner=partition)
 
     result = parallel_cp_als(
-        tensor, rank, grid, n_sweeps=n_sweeps, tol=0.0, mttkrp=method,
-        params=params, seed=seed, partitioner=partitioner, partition_seed=seed,
-        execution="process",
+        dist, rank, pgrid, n_sweeps=n_sweeps, tol=0.0, mttkrp=method,
+        params=params, seed=seed, execution="process", collectives=collectives,
     )
     sweeps = [s for s in result.sweeps if s.sweep_type == "als"]
     timed = sweeps[1:] if len(sweeps) > 1 else sweeps
     measured = float(np.mean([s.elapsed_seconds for s in timed]))
 
-    modeled = sparse_sweep_time_model(
+    breakdown = sparse_sweep_time_model(
         method, max(tensor.nnz // n_procs, 1), shape, rank, grid,
         imbalance=report.imbalance, params=params,
-    ).total_seconds
-    return {
+        execution="process", collectives=collectives,
+    )
+    modeled = breakdown.total_seconds
+    hop_messages, hop_words = process_hop_cost(
+        shape, grid, rank, collectives=collectives
+    )
+    point = {
         "grid": "x".join(str(d) for d in grid),
         "n_procs": n_procs,
         "method": f"sparse-{method}",
         "partitioner": report.partitioner,
+        "collectives": collectives,
         "imbalance": float(report.imbalance),
         "nnz": int(tensor.nnz),
         "rank": int(rank),
         "n_timed_sweeps": len(timed),
         "measured_per_sweep_seconds": measured,
         "modeled_per_sweep_seconds": float(modeled),
-        "measured_over_modeled": float(measured / modeled) if modeled else float("inf"),
+        "base_modeled_per_sweep_seconds": float(modeled - breakdown.hop_seconds),
+        "hop_messages": float(hop_messages),
+        "hop_words": float(hop_words),
     }
+    if modeled > 0:
+        point["measured_over_modeled"] = float(measured / modeled)
+    return point

@@ -23,6 +23,13 @@ from repro.machine.collective_costs import (
     reduce_scatter_cost,
     all_reduce_cost,
     broadcast_cost,
+    process_hop_cost,
+)
+from repro.machine.calibrate import (
+    CalibrationResult,
+    HopObservation,
+    calibrate_machine_params,
+    fit_hop_params,
 )
 
 __all__ = [
@@ -33,4 +40,9 @@ __all__ = [
     "reduce_scatter_cost",
     "all_reduce_cost",
     "broadcast_cost",
+    "process_hop_cost",
+    "HopObservation",
+    "CalibrationResult",
+    "fit_hop_params",
+    "calibrate_machine_params",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "all_reduce_cost",
     "broadcast_cost",
     "als_sweep_collective_cost",
+    "process_hop_cost",
 ]
 
 
@@ -121,4 +122,69 @@ def als_sweep_collective_cost(
         m, w = all_reduce_cost(rank * rank, n_procs)
         messages += m
         words += w
+    return messages, words
+
+
+def process_hop_cost(
+    shape: Tuple[int, ...],
+    grid_dims: Tuple[int, ...],
+    rank: int,
+    collectives: str = "master",
+    block_rows: Tuple[int, ...] | None = None,
+) -> Tuple[float, float]:
+    """(hop messages, hop words) of one sweep under ``execution="process"``.
+
+    The BSP formulas above model the *network* of the paper's machine; when
+    the sweeps run on spawned worker processes (:mod:`repro.comm.procs`),
+    every command/reply crossing a ``multiprocessing`` queue and every factor
+    panel crossing shared memory is an extra *process hop* the pure model
+    never sees.  Per mode ``m`` with padded block height ``b``, grid extent
+    ``d = grid_dims[m]`` and ``P`` total ranks:
+
+    * ``3 P`` queue messages — an MTTKRP command and reply per rank plus the
+      ``set_factor`` notification after the all-gather;
+    * ``d * b * R`` published words — one factor-panel publish per distinct
+      ``(mode, block)`` panel;
+    * with ``collectives="master"``, ``P * b * R`` more words — the master
+      copies every rank's output panel out of shared memory to reduce it;
+    * with ``collectives="worker"``, ``2 (P - d)`` more messages (a
+      ``reduce_add`` command + ack per binomial-tree edge, ``g - 1`` edges in
+      each of the ``d`` groups of ``g = P / d`` ranks) but only ``d * b * R``
+      more words — the master reads just the ``d`` already-summed root panels.
+
+    Charge the result at ``alpha_hop`` / ``beta_hop``
+    (:class:`repro.machine.params.MachineParams`), typically fitted from
+    measured runs by :mod:`repro.machine.calibrate`.
+    """
+    collectives = collectives.lower().strip()
+    if collectives not in ("master", "worker"):
+        raise ValueError(
+            f"unknown collectives mode {collectives!r}; use 'master' or 'worker'"
+        )
+    if len(shape) != len(grid_dims):
+        raise ValueError("shape and grid_dims must have equal length")
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    n_procs = 1
+    for d in grid_dims:
+        if d <= 0:
+            raise ValueError("grid dimensions must be positive")
+        n_procs *= int(d)
+    if block_rows is None:
+        from repro.grid.distribution import padded_block_size
+
+        block_rows = tuple(padded_block_size(s, d) for s, d in zip(shape, grid_dims))
+    if len(block_rows) != len(shape):
+        raise ValueError("block_rows must give one padded height per mode")
+    messages = 0.0
+    words = 0.0
+    for d, b in zip(grid_dims, block_rows):
+        d = int(d)
+        messages += 3.0 * n_procs
+        words += float(d) * int(b) * rank
+        if collectives == "worker":
+            messages += 2.0 * (n_procs - d)
+            words += float(d) * int(b) * rank
+        else:
+            words += float(n_procs) * int(b) * rank
     return messages, words

@@ -36,6 +36,16 @@ class MachineParams:
     cache_words:
         Cache size ``H`` in 8-byte words; the paper assumes
         ``nu <= gamma * sqrt(H)``.
+    alpha_hop:
+        Seconds per master<->worker process-hop message (one command or reply
+        crossing the ``multiprocessing`` queue, including its pickling).
+        Zero by default so the pure BSP model is unchanged; calibrate it from
+        measured runs with :mod:`repro.machine.calibrate` when modeling
+        ``execution="process"`` sweeps.
+    beta_hop:
+        Seconds per 8-byte word of process-hop payload (shared-memory panel
+        publishes and master-side reads of worker output panels).  Zero by
+        default, calibrated like ``alpha_hop``.
     """
 
     alpha: float = 2.0e-6
@@ -43,9 +53,11 @@ class MachineParams:
     gamma: float = 8.0e-12
     nu: float = 3.2e-10
     cache_words: int = 4 * 1024 * 1024
+    alpha_hop: float = 0.0
+    beta_hop: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("alpha", "beta", "gamma", "nu"):
+        for name in ("alpha", "beta", "gamma", "nu", "alpha_hop", "beta_hop"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
         if self.cache_words <= 0:
@@ -111,4 +123,6 @@ class MachineParams:
             gamma=self.gamma * factor,
             nu=self.nu * factor,
             cache_words=self.cache_words,
+            alpha_hop=self.alpha_hop * factor,
+            beta_hop=self.beta_hop * factor,
         )

@@ -148,3 +148,68 @@ class TestSparseSweepModel:
         assert breakdown.total_seconds == pytest.approx(
             sum(breakdown.category_seconds().values())
         )
+
+
+class TestProcessHopModel:
+    SHAPE = (48, 48, 48)
+    GRID = (1, 2, 2)
+    HOP_PARAMS = MachineParams(alpha_hop=1e-4, beta_hop=1e-7)
+
+    def test_simulated_execution_has_no_hop_seconds(self):
+        breakdown = sparse_sweep_time_model(
+            "dt", 1e4, self.SHAPE, 8, self.GRID, params=self.HOP_PARAMS
+        )
+        assert breakdown.hop_seconds == 0.0
+        assert "hop" not in breakdown.category_seconds()
+
+    def test_process_execution_adds_hop_seconds(self):
+        base = sparse_sweep_time_model(
+            "dt", 1e4, self.SHAPE, 8, self.GRID, params=self.HOP_PARAMS
+        )
+        proc = sparse_sweep_time_model(
+            "dt", 1e4, self.SHAPE, 8, self.GRID, params=self.HOP_PARAMS,
+            execution="process",
+        )
+        assert proc.hop_seconds > 0.0
+        assert proc.total_seconds == pytest.approx(
+            base.total_seconds + proc.hop_seconds
+        )
+        assert proc.category_seconds()["hop"] == pytest.approx(proc.hop_seconds)
+
+    def test_zero_hop_params_keep_category_keys_stable(self):
+        proc = sparse_sweep_time_model(
+            "dt", 1e4, self.SHAPE, 8, self.GRID, execution="process"
+        )
+        # container_like defaults: alpha_hop == beta_hop == 0 -> no "hop" key
+        assert proc.hop_seconds == 0.0
+        assert set(proc.category_seconds()) == {"ttm", "mttv", "hadamard",
+                                                "solve", "others", "comm"}
+
+    def test_worker_collectives_cheaper_words_than_master(self):
+        from repro.machine.collective_costs import process_hop_cost
+
+        words_params = MachineParams(alpha_hop=0.0, beta_hop=1e-7)
+        master = sparse_sweep_time_model(
+            "dt", 1e4, self.SHAPE, 8, self.GRID, params=words_params,
+            execution="process", collectives="master",
+        )
+        worker = sparse_sweep_time_model(
+            "dt", 1e4, self.SHAPE, 8, self.GRID, params=words_params,
+            execution="process", collectives="worker",
+        )
+        # master copies all P panels per mode; workers pre-reduce to d panels
+        assert worker.hop_seconds < master.hop_seconds
+        m_msgs, m_words = process_hop_cost(self.SHAPE, self.GRID, 8,
+                                           collectives="master")
+        w_msgs, w_words = process_hop_cost(self.SHAPE, self.GRID, 8,
+                                           collectives="worker")
+        assert w_words < m_words
+        assert w_msgs > m_msgs  # reduction edges cost extra messages
+
+    def test_invalid_execution_and_collectives_raise(self):
+        with pytest.raises(ValueError):
+            sparse_sweep_time_model("dt", 1e4, self.SHAPE, 8, self.GRID,
+                                    execution="quantum")
+        with pytest.raises(ValueError):
+            sparse_sweep_time_model("dt", 1e4, self.SHAPE, 8, self.GRID,
+                                    collectives="nobody")

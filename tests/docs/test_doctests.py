@@ -23,6 +23,7 @@ import repro.distributed.sparse
 import repro.grid.balance
 import repro.grid.distribution
 import repro.grid.processor_grid
+import repro.machine.calibrate
 import repro.machine.collective_costs
 import repro.trees.sparse_pp
 
@@ -35,6 +36,7 @@ AUDITED_MODULES = [
     repro.distributed.dist_tensor,
     repro.distributed.dist_factor,
     repro.distributed.sparse,
+    repro.machine.calibrate,
     repro.machine.collective_costs,
     repro.trees.sparse_pp,
 ]

@@ -110,6 +110,132 @@ class TestWorkerDeath:
                 machine.wait(0, "mttkrp")
 
 
+class TestFailedMachine:
+    """Error replies, timeouts and protocol mismatches leave replies in
+    flight, so they mark the whole machine :attr:`failed` — reusing it could
+    hand a stale reply to the next command (the bug this class pins)."""
+
+    def test_desynced_queue_marks_machine_failed(self):
+        """Deliberately desync the reply stream: a ping answered while the
+        master expects an mttkrp is a protocol mismatch, and every later
+        send/wait must refuse rather than consume the stale reply."""
+        with ProcessMachine(1) as machine:
+            machine.send(0, ("ping",))
+            with pytest.raises(RuntimeError, match="protocol mismatch"):
+                machine.wait(0, "mttkrp")
+            assert machine.failed is not None
+            assert "protocol mismatch" in machine.failed
+            with pytest.raises(RuntimeError, match="stale replies"):
+                machine.send(0, ("ping",))
+            with pytest.raises(RuntimeError, match="stale replies"):
+                machine.wait(0, "ping")
+
+    def test_worker_error_marks_machine_failed(self):
+        with ProcessMachine(1) as machine:
+            assert machine.failed is None
+            machine.send(0, ("mttkrp", 0))  # no init: the worker errors
+            with pytest.raises(RuntimeError, match="worker rank 0"):
+                machine.wait(0, "mttkrp")
+            assert "error during" in machine.failed
+            with pytest.raises(RuntimeError, match="stale replies"):
+                machine.send(0, ("ping",))
+
+    def test_timeout_marks_machine_failed(self):
+        with ProcessMachine(1, timeout=0.5) as machine:
+            with pytest.raises(RuntimeError, match="timed out"):
+                machine.wait(0, "ping")  # nothing sent: no reply ever comes
+            assert "timed out" in machine.failed
+
+    def test_worker_death_does_not_mark_failed(self):
+        """A dead rank's queue holds nothing stale — death must stay
+        recoverable (test_machine_reuse_after_failed_run relies on the
+        machine staying nominally open after master-side failures)."""
+        with ProcessMachine(2, timeout=30.0) as machine:
+            os.kill(machine.worker_pid(1), signal.SIGKILL)
+            with pytest.raises(RuntimeError, match="rank 1 (is dead|died)"):
+                machine.send(1, ("ping",))
+                machine.wait(1, "ping")
+            assert machine.failed is None
+            machine.send(0, ("ping",))  # surviving rank still reachable
+            assert machine.wait(0, "ping")[1] == 0
+
+
+class TestWorkerReductionFaults:
+    """collectives="worker" adds a reduction phase where workers read each
+    other's shared panels; a rank dying or wedging mid-tree must surface the
+    usual clean RuntimeError and leak nothing."""
+
+    def _kwargs(self):
+        return dict(collectives="worker", mttkrp="dt")
+
+    def test_sigkill_mid_reduction_raises_cleanly(self, coo, monkeypatch):
+        from repro.distributed import runtime as runtime_module
+
+        machine = ProcessMachine(2, timeout=30.0)
+        real = runtime_module.ProcessRuntime.reduce_blocks
+        state = {"killed": False}
+
+        def kill_then_reduce(self, groups, rows_by_group):
+            if not state["killed"]:
+                state["killed"] = True
+                # rank 0 is the destination of the (1,1,2) grid's only
+                # reduction edge: its death is seen at the edge's send/wait
+                os.kill(machine.worker_pid(0), signal.SIGKILL)
+            return real(self, groups, rows_by_group)
+
+        monkeypatch.setattr(runtime_module.ProcessRuntime, "reduce_blocks",
+                            kill_then_reduce)
+        try:
+            start = time.perf_counter()
+            with pytest.raises(RuntimeError, match="rank 0 (is dead|died)"):
+                _run(coo, machine=machine, **self._kwargs())
+            assert time.perf_counter() - start < machine.timeout
+            assert state["killed"]
+        finally:
+            machine.close()
+
+    def test_sigstop_mid_reduction_times_out(self, coo, monkeypatch):
+        """A wedged (stopped, not dead) reducer trips the machine timeout —
+        never a hang — and marks the machine failed."""
+        from repro.distributed import runtime as runtime_module
+
+        machine = ProcessMachine(2, timeout=1.5)
+        real = runtime_module.ProcessRuntime.reduce_blocks
+        state = {"stopped": False}
+
+        def wedge_then_reduce(self, groups, rows_by_group):
+            if not state["stopped"]:
+                state["stopped"] = True
+                os.kill(machine.worker_pid(0), signal.SIGSTOP)
+            return real(self, groups, rows_by_group)
+
+        monkeypatch.setattr(runtime_module.ProcessRuntime, "reduce_blocks",
+                            wedge_then_reduce)
+        try:
+            with pytest.raises(RuntimeError, match="timed out"):
+                _run(coo, machine=machine, **self._kwargs())
+            assert "timed out" in machine.failed
+        finally:
+            if state["stopped"]:
+                os.kill(machine.worker_pid(0), signal.SIGCONT)
+            machine.close()
+
+
+class TestLeakAuditPlatformGuard:
+    def test_missing_dev_shm_raises_not_falsely_clean(self, monkeypatch):
+        """Without /dev/shm (macOS, Windows) the audit has nothing to scan;
+        an empty list would read as "no leaks" when nothing was checked."""
+        import repro.comm.procs as procs_module
+
+        real_isdir = os.path.isdir
+        monkeypatch.setattr(
+            procs_module.os.path, "isdir",
+            lambda path: False if path == "/dev/shm" else real_isdir(path),
+        )
+        with pytest.raises(RuntimeError, match="unsupported on this platform"):
+            leaked_segments()
+
+
 class TestSegmentLifecycle:
     def test_success_leaves_no_segments(self, coo):
         result = _run(coo)

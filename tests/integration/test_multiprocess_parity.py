@@ -2,9 +2,12 @@
 
 The :class:`~repro.comm.procs.ProcessMachine` moves every rank-local kernel
 (MTTKRP, PP operator builds, PP contributions) into real spawned worker
-processes with shared-memory factor panels; the collectives stay
-master-driven, exactly as on the simulated machine.  Two consequences are
-pinned here, over the full partitioner x engine x driver matrix:
+processes with shared-memory factor panels; by default the collectives stay
+master-driven, exactly as on the simulated machine, and
+``collectives="worker"`` instead pre-sums the panels in the workers through a
+shared-memory reduction tree (see :class:`TestWorkerCollectives`).  Two
+consequences are pinned here, over the full partitioner x engine x driver
+matrix:
 
 * at the *same* rank count, a process run and a simulated run execute the
   same float64 operations on the same operands in the same order, so their
@@ -130,6 +133,75 @@ class TestProcessParity:
             strict = parallel_cp_als(coo, machine=strict_machine, **kwargs)
         for a, b in zip(fast.factors, strict.factors):
             assert np.array_equal(a, b)
+
+
+class TestWorkerCollectives:
+    """collectives="worker": the MTTKRP panels are pre-summed *by the workers*
+    through a shared-memory binomial reduction tree before the master touches
+    them.  The summation order inside a slice group is fixed by the tree, so
+    parity against the single-rank oracle holds to 1e-10 (fp grouping differs,
+    as for master collectives) and repeated runs are bitwise identical."""
+
+    @pytest.mark.parametrize("engine", ("dt", "msdt"))
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_cp_als_matches_single_rank_oracle(self, coo, initial, machine4,
+                                               partitioner, engine):
+        kwargs = _als_kwargs(coo, initial, partitioner, engine)
+        worker = parallel_cp_als(coo, machine=machine4, collectives="worker",
+                                 **kwargs)
+        single = parallel_cp_als(coo, **{**kwargs, "grid": (1, 1, 1)})
+        assert worker.options["collectives"] == "worker"
+        for a, b in zip(worker.factors, single.factors):
+            np.testing.assert_allclose(a, b, atol=ATOL, rtol=0)
+        assert np.isclose(worker.residual, single.residual, atol=ATOL)
+
+    @pytest.mark.parametrize("engine", ("dt", "msdt"))
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_pp_cp_als_matches_master_collectives(self, coo, initial, machine4,
+                                                  partitioner, engine):
+        kwargs = _pp_kwargs(coo, initial, partitioner, engine)
+        worker = parallel_pp_cp_als(coo, machine=machine4,
+                                    collectives="worker", **kwargs)
+        master = parallel_pp_cp_als(coo, machine=machine4, **kwargs)
+        # identical phase structure: the collectives mode may not perturb the
+        # PP restart decisions
+        assert worker.count_sweeps("pp-init") == master.count_sweeps("pp-init")
+        assert worker.count_sweeps("pp-approx") == master.count_sweeps("pp-approx")
+        assert worker.count_sweeps("pp-approx") >= 1
+        for a, b in zip(worker.factors, master.factors):
+            np.testing.assert_allclose(a, b, atol=ATOL, rtol=0)
+
+    def test_repeated_worker_runs_bit_identical(self, coo, initial, machine4):
+        kwargs = _als_kwargs(coo, initial, "joint", "dt")
+        first = parallel_cp_als(coo, machine=machine4, collectives="worker",
+                                **kwargs)
+        second = parallel_cp_als(coo, machine=machine4, collectives="worker",
+                                 **kwargs)
+        for a, b in zip(first.factors, second.factors):
+            assert np.array_equal(a, b)
+
+    def test_modeled_times_match_master_collectives(self, coo, initial,
+                                                    machine4):
+        """Worker reductions charge the same Section II-E reduce-scatter cost
+        as the master path — the observability seconds differ, the *modeled*
+        critical path may not."""
+        kwargs = _als_kwargs(coo, initial, "nnz-balanced", "dt")
+        worker = parallel_cp_als(coo, machine=machine4, collectives="worker",
+                                 **kwargs)
+        master = parallel_cp_als(coo, machine=machine4, **kwargs)
+        assert worker.per_sweep_modeled_seconds == pytest.approx(
+            master.per_sweep_modeled_seconds
+        )
+
+    def test_worker_collectives_on_simulated_machine_raises(self, coo):
+        with pytest.raises(ValueError, match="worker"):
+            parallel_cp_als(coo, rank=RANK, grid=GRID, n_sweeps=1, tol=0.0,
+                            collectives="worker")
+
+    def test_unknown_collectives_rejected(self, coo):
+        with pytest.raises(ValueError, match="collectives"):
+            parallel_cp_als(coo, rank=RANK, grid=GRID, n_sweeps=1, tol=0.0,
+                            collectives="gossip")
 
 
 class TestSeededDeterminism:

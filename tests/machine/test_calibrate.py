@@ -1,0 +1,113 @@
+"""Tests for the process-hop cost-model calibration fit."""
+
+import pytest
+
+from repro.machine.calibrate import (
+    CalibrationResult,
+    HopObservation,
+    fit_hop_params,
+)
+from repro.machine.params import MachineParams
+
+
+def _obs(alpha_hop, beta_hop, messages, words, base=0.05, noise=0.0):
+    measured = base + alpha_hop * messages + beta_hop * words + noise
+    return HopObservation(
+        measured_seconds=measured,
+        base_seconds=base,
+        hop_messages=messages,
+        hop_words=words,
+    )
+
+
+class TestFitHopParams:
+    def test_recovers_synthetic_alpha_and_beta(self):
+        true_a, true_b = 2.5e-4, 3.0e-7
+        # messages and words vary independently so the system is well posed
+        points = [(10.0, 1e3), (40.0, 1e3), (10.0, 8e3), (160.0, 4e3)]
+        obs = [_obs(true_a, true_b, m, w) for m, w in points]
+        fitted = fit_hop_params(obs)
+        assert fitted.alpha_hop == pytest.approx(true_a, rel=1e-8)
+        assert fitted.beta_hop == pytest.approx(true_b, rel=1e-8)
+
+    def test_fit_shrinks_noisy_residuals(self):
+        obs = [_obs(1e-4, 1e-7, m, w, noise=n)
+               for (m, w), n in zip([(10.0, 1e3), (40.0, 4e3), (160.0, 2e3)],
+                                    [1e-4, -5e-5, 2e-4])]
+        fitted = fit_hop_params(obs)
+        zero = MachineParams.container_like()
+
+        def sse(params):
+            return sum(
+                (o.base_seconds + params.alpha_hop * o.hop_messages
+                 + params.beta_hop * o.hop_words - o.measured_seconds) ** 2
+                for o in obs
+            )
+
+        assert sse(fitted) <= sse(zero) + 1e-18
+
+    def test_clamps_to_nonnegative(self):
+        # measured faster than the base model: unconstrained fit would want
+        # negative hop rates; the NNLS clamp must return zeros instead
+        obs = [
+            HopObservation(measured_seconds=0.01, base_seconds=0.05,
+                           hop_messages=m, hop_words=10.0 * m)
+            for m in (10.0, 40.0, 160.0)
+        ]
+        fitted = fit_hop_params(obs)
+        assert fitted.alpha_hop == 0.0
+        assert fitted.beta_hop == 0.0
+
+    def test_single_term_fit_when_words_absent(self):
+        obs = [_obs(2e-4, 0.0, m, 0.0) for m in (10.0, 40.0, 160.0)]
+        fitted = fit_hop_params(obs)
+        assert fitted.alpha_hop == pytest.approx(2e-4, rel=1e-8)
+        assert fitted.beta_hop == 0.0
+
+    def test_mixed_sign_optimum_picks_clamped_candidate(self):
+        # alpha wants to be negative, beta positive: the feasible optimum is
+        # the one-variable beta fit, not the (clipped) unconstrained solution
+        obs = [
+            HopObservation(measured_seconds=0.05 + 3e-7 * w - 1e-6 * m,
+                           base_seconds=0.05, hop_messages=m, hop_words=w)
+            for m, w in [(100.0, 1e4), (400.0, 8e4), (100.0, 4e4)]
+        ]
+        fitted = fit_hop_params(obs)
+        assert fitted.alpha_hop == 0.0
+        assert fitted.beta_hop > 0.0
+
+    def test_base_params_carried_through(self):
+        base = MachineParams.knl_like()
+        obs = [_obs(1e-4, 0.0, m, 0.0) for m in (10.0, 40.0)]
+        fitted = fit_hop_params(obs, base=base)
+        assert fitted.alpha == base.alpha
+        assert fitted.beta == base.beta
+        assert fitted.alpha_hop > 0.0
+
+    def test_empty_observations_raise(self):
+        with pytest.raises(ValueError):
+            fit_hop_params([])
+
+
+class TestCalibrationResult:
+    def test_asdict_shape(self):
+        obs = (_obs(1e-4, 0.0, 10.0, 0.0), _obs(1e-4, 0.0, 40.0, 0.0))
+        result = CalibrationResult(
+            params=fit_hop_params(obs),
+            observations=obs,
+            max_ratio_before=5.0,
+            max_ratio_after=1.1,
+        )
+        payload = result.asdict()
+        assert set(payload) == {"alpha_hop", "beta_hop", "n_observations",
+                                "max_ratio_before", "max_ratio_after"}
+        assert payload["n_observations"] == 2
+        assert payload["alpha_hop"] == pytest.approx(1e-4, rel=1e-8)
+
+    def test_observation_validation(self):
+        with pytest.raises(ValueError):
+            HopObservation(measured_seconds=-1.0, base_seconds=0.0,
+                           hop_messages=1.0, hop_words=0.0)
+        with pytest.raises(ValueError):
+            HopObservation(measured_seconds=1.0, base_seconds=0.0,
+                           hop_messages=-1.0, hop_words=0.0)

@@ -43,6 +43,23 @@ class TestMachineParams:
         assert doubled.nu == 2 * params.nu
         assert doubled.cache_words == params.cache_words
 
+    def test_hop_rates_default_to_zero(self):
+        params = MachineParams.container_like()
+        assert params.alpha_hop == 0.0
+        assert params.beta_hop == 0.0
+
+    def test_negative_hop_rate_raises(self):
+        with pytest.raises(ValueError):
+            MachineParams(alpha_hop=-1e-6)
+        with pytest.raises(ValueError):
+            MachineParams(beta_hop=-1e-9)
+
+    def test_scaled_multiplies_hop_rates(self):
+        params = MachineParams(alpha_hop=1e-4, beta_hop=1e-7)
+        doubled = params.scaled(2.0)
+        assert doubled.alpha_hop == 2e-4
+        assert doubled.beta_hop == 2e-7
+
     def test_scaled_rejects_nonpositive_factor(self):
         with pytest.raises(ValueError):
             MachineParams.knl_like().scaled(0.0)
